@@ -1,0 +1,104 @@
+// Figure 14: slowdown of JavaScript (microjs) virtines relative to native.
+//
+// Variants: plain virtine, virtine+snapshot, virtine-NT (no teardown), and
+// virtine+snapshot+NT.  The native baseline is the engine's own in-guest
+// measurement (rdtsc around init + run + teardown): the same managed
+// runtime with zero virtualization overhead.  Only three hypercalls are
+// permitted (snapshot, get_data, return_data).
+#include "bench/bench_util.h"
+#include "src/base/rng.h"
+#include "src/vcc/vcc.h"
+#include "src/vjs/vjs.h"
+#include "src/vrt/vlibc.h"
+#include "src/wasp/runtime.h"
+
+namespace {
+
+visa::Image BuildEngine(bool teardown) {
+  auto bytecode = vjs::CompileScript(vjs::Base64ScriptSource());
+  VB_CHECK(bytecode.ok(), bytecode.status().ToString());
+  auto image = vcc::CompileProgram(
+      vrt::VlibcSource() + vjs::EngineSource(*bytecode, teardown), "main",
+      vrt::Env::kLong64);
+  VB_CHECK(image.ok(), image.status().ToString());
+  return std::move(*image);
+}
+
+}  // namespace
+
+int main() {
+  benchutil::Header(
+      "Figure 14: microjs (Duktape-analogue) virtines, slowdown vs native",
+      "plain virtine adds ~125us over the 419us native baseline; snapshotting halves "
+      "overhead; snapshot+no-teardown leaves essentially only parse+execute");
+
+  const visa::Image with_teardown = BuildEngine(/*teardown=*/true);
+  const visa::Image no_teardown = BuildEngine(/*teardown=*/false);
+
+  // 512-byte payload, as a Duktape-scale UDF input.
+  vbase::Rng rng(7);
+  std::vector<uint8_t> payload(384);
+  for (auto& b : payload) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  const std::string expected = vjs::HostBase64(payload);
+
+  struct Variant {
+    const char* label;
+    const visa::Image* image;
+    bool snapshot;
+  };
+  const Variant variants[] = {
+      {"virtine", &with_teardown, false},
+      {"virtine+snapshot", &with_teardown, true},
+      {"virtine NT", &no_teardown, false},
+      {"virtine+snapshot+NT", &no_teardown, true},
+  };
+
+  constexpr int kTrials = 8;
+  double native_us = 0;
+  struct Row {
+    std::string label;
+    double mean_us;
+  };
+  std::vector<Row> rows;
+  for (const Variant& variant : variants) {
+    wasp::Runtime runtime;
+    std::vector<double> cycles;
+    for (int t = 0; t < kTrials; ++t) {
+      wasp::VirtineSpec spec;
+      spec.image = variant.image;
+      spec.key = std::string("js-") + variant.label;
+      spec.mem_size = 2ULL << 20;
+      spec.policy = wasp::kPolicyManaged;
+      spec.use_snapshot = variant.snapshot;
+      spec.crt_snapshot = false;  // the engine snapshots after init (S6.5)
+      spec.input = &payload;
+      auto outcome = runtime.Invoke(spec);
+      VB_CHECK(outcome.status.ok(), outcome.status.ToString());
+      VB_CHECK(std::string(outcome.output.begin(), outcome.output.end()) == expected,
+               "base64 output mismatch");
+      cycles.push_back(static_cast<double>(outcome.stats.total_cycles));
+      // The guest returns rdtsc(init+run+teardown): the native baseline.
+      // Only meaningful on non-snapshot runs of the full-teardown engine.
+      if (variant.image == &with_teardown && !variant.snapshot) {
+        native_us = vbase::CyclesToMicros(outcome.result_word);
+      }
+    }
+    rows.push_back(
+        {variant.label,
+         vbase::CyclesToMicros(static_cast<uint64_t>(vbase::Summarize(cycles).mean))});
+  }
+
+  vbase::Table table({"configuration", "latency us", "slowdown vs native"});
+  table.AddRow({"native engine (in-guest rdtsc)", vbase::Fmt(native_us, 1), "1.00x"});
+  for (const Row& row : rows) {
+    table.AddRow({row.label, vbase::Fmt(row.mean_us, 1),
+                  vbase::Fmt(row.mean_us / native_us, 2) + "x"});
+  }
+  table.Print();
+  std::printf("\n%d trials per variant; payload %zu B; hypercalls per invocation: 3 "
+              "(snapshot, get_data, return_data).\n",
+              kTrials, payload.size());
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Table 1: Boot time breakdown for the minimal runtime environment.
+//
+// The long-mode boot stub executes the classic bring-up sequence; the CPU
+// logs a milestone at each component.  As in the paper we report the
+// *minimum* observed latency per component over all trials.
+#include <algorithm>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "src/vrt/env.h"
+#include "src/vrt/samples.h"
+#include "src/vkvm/vkvm.h"
+#include "src/wasp/abi.h"
+
+int main() {
+  benchutil::Header(
+      "Table 1: boot-time breakdown (cycles per component, min over trials)",
+      "paging identity mapping dominates (~28K cycles); protected transition ~3.2K; "
+      "32-bit GDT load ~4.1K; jumps and first instruction are negligible");
+
+  auto image = vrt::BuildImage(vrt::Env::kLong64, vrt::FibSource());
+  VB_CHECK(image.ok(), image.status().ToString());
+
+  constexpr int kTrials = 1000;
+  std::map<vhw::BootEvent, uint64_t> min_cost;
+  for (int t = 0; t < kTrials; ++t) {
+    auto vm = vkvm::Vm::Create(vkvm::VmConfig{});
+    VB_CHECK(vm->LoadBlob(image->load_addr, image->bytes.data(), image->bytes.size()).ok(),
+             "load failed");
+    uint64_t boot_info[2] = {vm->memory().size(), 0};
+    VB_CHECK(vm->memory().Write(wasp::kBootInfoAddr, boot_info, sizeof(boot_info)).ok(), "");
+    uint64_t args[3] = {0, 1, 1};  // fib(1): minimal workload
+    VB_CHECK(vm->memory().Write(wasp::kArgPageAddr, args, sizeof(args)).ok(), "");
+    vm->ResetVcpu(image->entry);
+    vm->cpu().set_reg(visa::kSp, wasp::kRealModeStackTop);
+    auto run = vm->Run();
+    VB_CHECK(run.reason == vkvm::ExitReason::kHlt, run.fault);
+    const auto& ms = vm->cpu().milestones();
+    std::map<vhw::BootEvent, uint64_t> at;
+    for (const auto& m : ms) {
+      at[m.event] = m.cycles;
+    }
+    for (size_t i = 0; i < ms.size(); ++i) {
+      const uint64_t prev = i == 0 ? 0 : ms[i - 1].cycles;
+      uint64_t cost = ms[i].cycles - prev;
+      // "Paging identity mapping" spans the page-table store loop, control
+      // register setup, and EPT construction: everything between the
+      // long-transition lgdt and CR0.PG taking effect (the paper's "12KB of
+      // memory references, plus the actual installation of the page tables,
+      // control register configuration, and construction of an EPT").
+      if (ms[i].event == vhw::BootEvent::kCr0PgSet &&
+          at.count(vhw::BootEvent::kLgdtProt) != 0) {
+        cost = ms[i].cycles - at[vhw::BootEvent::kLgdtProt];
+      }
+      auto it = min_cost.find(ms[i].event);
+      if (it == min_cost.end() || cost < it->second) {
+        min_cost[ms[i].event] = cost;
+      }
+    }
+  }
+
+  // Rows in the paper's order (Table 1), paper reference values attached.
+  struct Row {
+    vhw::BootEvent event;
+    const char* label;
+    uint64_t paper_cycles;
+  };
+  const Row rows[] = {
+      {vhw::BootEvent::kCr0PgSet, "Paging identity mapping", 28109},
+      {vhw::BootEvent::kCr0PeSet, "Protected transition", 3217},
+      {vhw::BootEvent::kLgdtProt, "Long transition (lgdt)", 681},
+      {vhw::BootEvent::kJump32, "Jump to 32-bit (ljmp)", 175},
+      {vhw::BootEvent::kJump64, "Jump to 64-bit (ljmp)", 190},
+      {vhw::BootEvent::kLgdtReal, "Load 32-bit GDT (lgdt)", 4118},
+      {vhw::BootEvent::kFirstInsn, "First Instruction", 74},
+  };
+  vbase::Table table({"component", "measured (cycles)", "paper (cycles)"});
+  uint64_t total = 0;
+  for (const Row& row : rows) {
+    const uint64_t measured = min_cost.count(row.event) ? min_cost[row.event] : 0;
+    total += measured;
+    table.AddRow({row.label, std::to_string(measured), std::to_string(row.paper_cycles)});
+  }
+  table.AddRow({"TOTAL (boot components)", std::to_string(total), "36564"});
+  table.Print();
+  std::printf("\n%d trials; identity map covers 1 GB with 512 x 2 MB PDEs written by the "
+              "guest boot stub.\n",
+              kTrials);
+  return 0;
+}

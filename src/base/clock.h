@@ -1,0 +1,53 @@
+// Wall-clock timing helpers and the modeled-cycle <-> time conversion used
+// throughout the benchmarks.
+//
+// The paper reports most results in cycles measured with rdtsc on "tinker"
+// (AMD EPYC 7281 @ 2.69 GHz).  Our emulated machine counts *modeled* guest
+// cycles; to present them in familiar units we convert at the tinker clock
+// rate.  Host-side work (allocation, zeroing, memcpy, dispatch) is measured
+// with a real monotonic clock.
+#ifndef SRC_BASE_CLOCK_H_
+#define SRC_BASE_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace vbase {
+
+// Reference clock rate for converting modeled cycles to seconds (tinker).
+inline constexpr double kReferenceGhz = 2.69;
+
+// Converts modeled cycles to microseconds at the reference clock rate.
+inline double CyclesToMicros(uint64_t cycles) {
+  return static_cast<double>(cycles) / (kReferenceGhz * 1e3);
+}
+
+// Converts microseconds to modeled cycles at the reference clock rate.
+inline uint64_t MicrosToCycles(double micros) {
+  return static_cast<uint64_t>(micros * kReferenceGhz * 1e3);
+}
+
+// Returns a monotonic timestamp in nanoseconds.
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+// Scoped stopwatch over the host monotonic clock.
+class WallTimer {
+ public:
+  WallTimer() : start_(NowNanos()) {}
+
+  void Reset() { start_ = NowNanos(); }
+
+  uint64_t ElapsedNanos() const { return NowNanos() - start_; }
+  double ElapsedMicros() const { return static_cast<double>(ElapsedNanos()) / 1e3; }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace vbase
+
+#endif  // SRC_BASE_CLOCK_H_

@@ -1,0 +1,87 @@
+#include "src/base/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vbase {
+
+double Quantile(std::vector<double> samples, double q) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::sort(samples.begin(), samples.end());
+  if (q <= 0.0) {
+    return samples.front();
+  }
+  if (q >= 1.0) {
+    return samples.back();
+  }
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+Summary Summarize(const std::vector<double>& samples) {
+  Summary s;
+  if (samples.empty()) {
+    return s;
+  }
+  s.count = samples.size();
+  double sum = 0.0;
+  s.min = samples[0];
+  s.max = samples[0];
+  for (double v : samples) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(samples.size());
+  double sq = 0.0;
+  for (double v : samples) {
+    sq += (v - s.mean) * (v - s.mean);
+  }
+  s.stddev = samples.size() > 1
+                 ? std::sqrt(sq / static_cast<double>(samples.size() - 1))
+                 : 0.0;
+  s.p50 = Quantile(samples, 0.50);
+  s.p90 = Quantile(samples, 0.90);
+  s.p99 = Quantile(samples, 0.99);
+  return s;
+}
+
+std::vector<double> TukeyFilter(const std::vector<double>& samples) {
+  if (samples.size() < 4) {
+    return samples;
+  }
+  const double q25 = Quantile(samples, 0.25);
+  const double q75 = Quantile(samples, 0.75);
+  const double iqr = q75 - q25;
+  const double lo = q25 - 1.5 * iqr;
+  const double hi = q75 + 1.5 * iqr;
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (double v : samples) {
+    if (v >= lo && v <= hi) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+double HarmonicMean(const std::vector<double>& samples) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  double denom = 0.0;
+  for (double v : samples) {
+    if (v <= 0.0) {
+      return 0.0;
+    }
+    denom += 1.0 / v;
+  }
+  return static_cast<double>(samples.size()) / denom;
+}
+
+}  // namespace vbase

@@ -1,0 +1,42 @@
+// Sample statistics used by the benchmark harnesses: mean/stddev/min/max,
+// percentiles, and the Tukey outlier filter the paper applies in Section 4.2
+// (footnote 3): samples outside [q25 - 1.5*IQR, q75 + 1.5*IQR] are dropped.
+#ifndef SRC_BASE_STATS_H_
+#define SRC_BASE_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vbase {
+
+// Summary statistics over a sample set.
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+// Computes summary statistics.  Empty input yields a zeroed Summary.
+Summary Summarize(const std::vector<double>& samples);
+
+// Returns the q-th quantile (0 <= q <= 1) by linear interpolation on the
+// sorted sample.  Empty input returns 0.
+double Quantile(std::vector<double> samples, double q);
+
+// Applies Tukey's method: removes samples outside
+// [q25 - 1.5*IQR, q75 + 1.5*IQR].  Matches the paper's outlier handling.
+std::vector<double> TukeyFilter(const std::vector<double>& samples);
+
+// Harmonic mean (the paper reports harmonic-mean throughput in Figure 13b).
+// Non-positive samples are rejected by returning 0.
+double HarmonicMean(const std::vector<double>& samples);
+
+}  // namespace vbase
+
+#endif  // SRC_BASE_STATS_H_

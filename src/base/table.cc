@@ -1,0 +1,67 @@
+#include "src/base/table.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace vbase {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+std::string Table::Render() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = header_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << cell;
+      if (i + 1 < widths.size()) {
+        os << std::string(widths[i] - cell.size() + 2, ' ');
+      }
+    }
+    os << "\n";
+  };
+  emit_row(header_);
+  std::vector<std::string> sep;
+  sep.reserve(header_.size());
+  for (size_t w : widths) {
+    sep.push_back(std::string(w, '-'));
+  }
+  emit_row(sep);
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return os.str();
+}
+
+void Table::Print() const { std::fputs(Render().c_str(), stdout); }
+
+std::string Fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  char buf[64];
+  if (bytes >= (1ULL << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB", static_cast<double>(bytes) / (1 << 20));
+  } else if (bytes >= (1ULL << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", static_cast<double>(bytes) / (1 << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace vbase

@@ -1,0 +1,41 @@
+// Console table printer used by the benchmark binaries so every table/figure
+// reproduction prints aligned, diffable rows.
+#ifndef SRC_BASE_TABLE_H_
+#define SRC_BASE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace vbase {
+
+// Collects rows of string cells and renders them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Appends one row; cell count may be <= header size.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders with a header separator, e.g.
+  //   name        cycles    usec
+  //   ---------   ------    ----
+  //   vmrun       4500      1.67
+  std::string Render() const;
+
+  // Renders to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with `digits` fraction digits.
+std::string Fmt(double value, int digits = 2);
+
+// Formats byte counts human-readably ("16 KB", "2.0 MB").
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace vbase
+
+#endif  // SRC_BASE_TABLE_H_

@@ -1,0 +1,52 @@
+// Virtine image format.
+//
+// A virtine image is a flat, statically linked binary blob plus metadata.
+// Wasp loads the blob at `load_addr` (0x8000, as in the paper) in guest
+// physical memory and starts the vCPU in real mode at `entry`.
+#ifndef SRC_ISA_IMAGE_H_
+#define SRC_ISA_IMAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace visa {
+
+// Default guest load address (matches Wasp: "loads it at guest virtual
+// address 0x8000 and enters the VM context").
+inline constexpr uint64_t kDefaultLoadAddr = 0x8000;
+
+// A loadable guest binary.
+struct Image {
+  uint64_t load_addr = kDefaultLoadAddr;
+  uint64_t entry = kDefaultLoadAddr;
+  std::vector<uint8_t> bytes;
+  // Symbol table (label -> absolute guest address) for debugging and tests.
+  std::map<std::string, uint64_t> symbols;
+
+  uint64_t size() const { return bytes.size(); }
+
+  // Looks up a symbol's absolute address.
+  vbase::Result<uint64_t> Symbol(const std::string& name) const {
+    auto it = symbols.find(name);
+    if (it == symbols.end()) {
+      return vbase::NotFound("no such symbol: " + name);
+    }
+    return it->second;
+  }
+
+  // Zero-pads the image to at least `size` bytes (used by the Figure 12
+  // image-size sweep, which synthetically pads a minimal image with zeroes).
+  void PadTo(uint64_t size) {
+    if (bytes.size() < size) {
+      bytes.resize(size, 0);
+    }
+  }
+};
+
+}  // namespace visa
+
+#endif  // SRC_ISA_IMAGE_H_

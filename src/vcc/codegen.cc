@@ -1,0 +1,878 @@
+// VBC code generation for the vcc dialect.
+//
+// A deliberately simple tree-walking backend: expression results live in r0,
+// binary operands are staged through the guest stack (left operand pushed,
+// right in r2), and every variable access goes through an address so char
+// accesses get byte-accurate loads/stores.  Calling convention (shared with
+// the vrt CRT): arguments pushed right-to-left as machine words, caller
+// cleans, result in r0, fp-based frames.
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/log.h"
+#include "src/vcc/ast.h"
+
+namespace vcc {
+namespace {
+
+bool IsBuiltin(const std::string& name) {
+  return name == "__hc0" || name == "__hc1" || name == "__hc2" || name == "__hc3" ||
+         name == "__rdtsc" || name == "__hlt";
+}
+
+// Collects names of functions called within an expression tree.
+void CollectCalls(const Expr* e, std::set<std::string>* out) {
+  if (e == nullptr) {
+    return;
+  }
+  if (e->kind == ExprKind::kCall && !IsBuiltin(e->name)) {
+    out->insert(e->name);
+  }
+  CollectCalls(e->a.get(), out);
+  CollectCalls(e->b.get(), out);
+  CollectCalls(e->c.get(), out);
+  for (const auto& arg : e->args) {
+    CollectCalls(arg.get(), out);
+  }
+}
+
+void CollectCalls(const Stmt* s, std::set<std::string>* out) {
+  if (s == nullptr) {
+    return;
+  }
+  CollectCalls(s->e.get(), out);
+  CollectCalls(s->e2.get(), out);
+  CollectCalls(s->e3.get(), out);
+  CollectCalls(s->init.get(), out);
+  CollectCalls(s->s1.get(), out);
+  CollectCalls(s->s2.get(), out);
+  CollectCalls(s->s3.get(), out);
+  for (const auto& sub : s->body) {
+    CollectCalls(sub.get(), out);
+  }
+}
+
+// Collects identifier references (for global inclusion).
+void CollectVars(const Expr* e, std::set<std::string>* out) {
+  if (e == nullptr) {
+    return;
+  }
+  if (e->kind == ExprKind::kVar) {
+    out->insert(e->name);
+  }
+  CollectVars(e->a.get(), out);
+  CollectVars(e->b.get(), out);
+  CollectVars(e->c.get(), out);
+  for (const auto& arg : e->args) {
+    CollectVars(arg.get(), out);
+  }
+}
+
+void CollectVars(const Stmt* s, std::set<std::string>* out) {
+  if (s == nullptr) {
+    return;
+  }
+  CollectVars(s->e.get(), out);
+  CollectVars(s->e2.get(), out);
+  CollectVars(s->e3.get(), out);
+  CollectVars(s->init.get(), out);
+  CollectVars(s->s1.get(), out);
+  CollectVars(s->s2.get(), out);
+  CollectVars(s->s3.get(), out);
+  for (const auto& sub : s->body) {
+    CollectVars(sub.get(), out);
+  }
+}
+
+class CodeGen {
+ public:
+  CodeGen(const Program& prog, int word_bytes) : prog_(prog), w_(word_bytes) {}
+
+  vbase::Result<std::string> Run(const std::string& entry) {
+    const Function* entry_fn = prog_.FindFunction(entry);
+    if (entry_fn == nullptr) {
+      return vbase::NotFound("entry function not found: " + entry);
+    }
+    // --- Call-graph cut: functions reachable from the entry -----------------
+    std::vector<const Function*> reachable;
+    std::set<std::string> visited;
+    std::vector<const Function*> work{entry_fn};
+    visited.insert(entry_fn->name);
+    std::set<std::string> used_names;
+    while (!work.empty()) {
+      const Function* fn = work.back();
+      work.pop_back();
+      reachable.push_back(fn);
+      std::set<std::string> calls;
+      CollectCalls(fn->body.get(), &calls);
+      CollectVars(fn->body.get(), &used_names);
+      for (const std::string& callee : calls) {
+        if (visited.count(callee) != 0) {
+          continue;
+        }
+        const Function* f = prog_.FindFunction(callee);
+        if (f == nullptr) {
+          return vbase::NotFound("undefined function '" + callee + "' called from '" +
+                                 fn->name + "'");
+        }
+        visited.insert(callee);
+        work.push_back(f);
+      }
+    }
+
+    // --- Code -----------------------------------------------------------------
+    for (const Function* fn : reachable) {
+      vbase::Status st = GenFunction(*fn);
+      if (!st.ok()) {
+        return st;
+      }
+    }
+    if (entry != "virtine_main") {
+      os_ << "virtine_main:\n  jmp " << entry << "\n";
+    }
+
+    // --- Data: referenced globals + string literals ----------------------------
+    for (const Global& g : prog_.globals) {
+      if (used_names.count(g.name) == 0) {
+        continue;
+      }
+      EmitGlobal(g);
+    }
+    os_ << strings_.str();
+    return os_.str();
+  }
+
+ private:
+  struct VarInfo {
+    Type type;
+    bool is_array = false;
+    int64_t array_count = 0;
+    bool is_global = false;
+    bool is_param = false;
+    int64_t fp_offset = 0;  // locals: [fp - fp_offset]
+    int param_index = 0;
+  };
+
+  const char* WordDirective() const { return w_ == 8 ? ".quad" : w_ == 4 ? ".dword" : ".word"; }
+
+  int SizeOf(const Type& t) const {
+    if (t.IsPtr()) {
+      return w_;
+    }
+    switch (t.base) {
+      case Type::Base::kChar:
+        return 1;
+      case Type::Base::kInt:
+        return w_;
+      case Type::Base::kVoid:
+        return 1;  // void* arithmetic treats elements as bytes
+    }
+    return w_;
+  }
+
+  int ElemSize(const Type& ptr) const { return SizeOf(ptr.Pointee()); }
+
+  int64_t Align(int64_t n) const { return (n + w_ - 1) & ~static_cast<int64_t>(w_ - 1); }
+
+  vbase::Status Err(int line, const std::string& msg) {
+    return vbase::InvalidArgument("codegen error line " + std::to_string(line) + ": " + msg);
+  }
+
+  std::string NewLabel() { return ".L" + std::to_string(label_counter_++); }
+
+  void Emit(const std::string& text) { os_ << "  " << text << "\n"; }
+
+  // --- Scopes ------------------------------------------------------------------
+
+  void PushScope() { scopes_.emplace_back(); }
+  void PopScope() { scopes_.pop_back(); }
+
+  const VarInfo* Lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) {
+        return &found->second;
+      }
+    }
+    return nullptr;
+  }
+
+  // --- Frame size pre-pass ------------------------------------------------------
+
+  int64_t FrameBytes(const Stmt* s) const {
+    if (s == nullptr) {
+      return 0;
+    }
+    int64_t total = 0;
+    if (s->kind == StmtKind::kDecl) {
+      if (s->array_count >= 0) {
+        total += Align(s->array_count * SizeOf(s->type));
+      } else {
+        total += w_;
+      }
+    }
+    total += FrameBytes(s->s1.get()) + FrameBytes(s->s2.get()) + FrameBytes(s->s3.get());
+    for (const auto& sub : s->body) {
+      total += FrameBytes(sub.get());
+    }
+    return total;
+  }
+
+  // --- Functions ------------------------------------------------------------------
+
+  vbase::Status GenFunction(const Function& fn) {
+    cur_fn_ = &fn;
+    cur_offset_ = 0;
+    scopes_.clear();
+    PushScope();
+    for (size_t i = 0; i < fn.params.size(); ++i) {
+      VarInfo v;
+      v.type = fn.params[i].type;
+      v.is_param = true;
+      v.param_index = static_cast<int>(i);
+      scopes_.back()[fn.params[i].name] = v;
+    }
+    os_ << fn.name << ":\n";
+    Emit("push fp");
+    Emit("mov fp, sp");
+    const int64_t frame = FrameBytes(fn.body.get());
+    if (frame > 0) {
+      Emit("sub sp, " + std::to_string(frame));
+    }
+    VB_RETURN_IF_ERROR(GenStmt(*fn.body));
+    // Implicit return (value 0) if control falls off the end.
+    Emit("mov r0, 0");
+    Emit("mov sp, fp");
+    Emit("pop fp");
+    Emit("ret");
+    PopScope();
+    return vbase::Status::Ok();
+  }
+
+  // --- Statements --------------------------------------------------------------------
+
+  vbase::Status GenStmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kBlock: {
+        PushScope();
+        for (const auto& sub : s.body) {
+          VB_RETURN_IF_ERROR(GenStmt(*sub));
+        }
+        PopScope();
+        return vbase::Status::Ok();
+      }
+      case StmtKind::kDecl: {
+        VarInfo v;
+        v.type = s.type;
+        if (s.array_count >= 0) {
+          v.is_array = true;
+          v.array_count = s.array_count;
+          cur_offset_ += Align(s.array_count * SizeOf(s.type));
+        } else {
+          cur_offset_ += w_;
+        }
+        v.fp_offset = cur_offset_;
+        scopes_.back()[s.name] = v;
+        if (s.init != nullptr) {
+          if (v.is_array) {
+            return Err(s.line, "local array initializers are not supported");
+          }
+          Type vt;
+          VB_RETURN_IF_ERROR(GenExpr(*s.init, &vt));
+          Emit("push r0");
+          Emit("lea r0, [fp-" + std::to_string(v.fp_offset) + "]");
+          Emit("mov r1, r0");
+          Emit("pop r0");
+          EmitStore(s.type);
+        }
+        return vbase::Status::Ok();
+      }
+      case StmtKind::kIf: {
+        Type t;
+        VB_RETURN_IF_ERROR(GenExpr(*s.e, &t));
+        const std::string lelse = NewLabel();
+        const std::string lend = NewLabel();
+        Emit("cmp r0, 0");
+        Emit("je " + lelse);
+        VB_RETURN_IF_ERROR(GenStmt(*s.s1));
+        if (s.s2 != nullptr) {
+          Emit("jmp " + lend);
+        }
+        os_ << lelse << ":\n";
+        if (s.s2 != nullptr) {
+          VB_RETURN_IF_ERROR(GenStmt(*s.s2));
+          os_ << lend << ":\n";
+        }
+        return vbase::Status::Ok();
+      }
+      case StmtKind::kWhile: {
+        const std::string lhead = NewLabel();
+        const std::string lend = NewLabel();
+        break_stack_.push_back(lend);
+        continue_stack_.push_back(lhead);
+        os_ << lhead << ":\n";
+        Type t;
+        VB_RETURN_IF_ERROR(GenExpr(*s.e, &t));
+        Emit("cmp r0, 0");
+        Emit("je " + lend);
+        VB_RETURN_IF_ERROR(GenStmt(*s.s1));
+        Emit("jmp " + lhead);
+        os_ << lend << ":\n";
+        break_stack_.pop_back();
+        continue_stack_.pop_back();
+        return vbase::Status::Ok();
+      }
+      case StmtKind::kFor: {
+        PushScope();
+        if (s.s1 != nullptr) {
+          VB_RETURN_IF_ERROR(GenStmt(*s.s1));
+        }
+        const std::string lhead = NewLabel();
+        const std::string lpost = NewLabel();
+        const std::string lend = NewLabel();
+        break_stack_.push_back(lend);
+        continue_stack_.push_back(lpost);
+        os_ << lhead << ":\n";
+        if (s.e != nullptr) {
+          Type t;
+          VB_RETURN_IF_ERROR(GenExpr(*s.e, &t));
+          Emit("cmp r0, 0");
+          Emit("je " + lend);
+        }
+        VB_RETURN_IF_ERROR(GenStmt(*s.s2));
+        os_ << lpost << ":\n";
+        if (s.e3 != nullptr) {
+          Type t;
+          VB_RETURN_IF_ERROR(GenExpr(*s.e3, &t));
+        }
+        Emit("jmp " + lhead);
+        os_ << lend << ":\n";
+        break_stack_.pop_back();
+        continue_stack_.pop_back();
+        PopScope();
+        return vbase::Status::Ok();
+      }
+      case StmtKind::kReturn: {
+        if (s.e != nullptr) {
+          Type t;
+          VB_RETURN_IF_ERROR(GenExpr(*s.e, &t));
+        } else {
+          Emit("mov r0, 0");
+        }
+        Emit("mov sp, fp");
+        Emit("pop fp");
+        Emit("ret");
+        return vbase::Status::Ok();
+      }
+      case StmtKind::kExpr: {
+        Type t;
+        return GenExpr(*s.e, &t);
+      }
+      case StmtKind::kBreak:
+        if (break_stack_.empty()) {
+          return Err(s.line, "break outside loop");
+        }
+        Emit("jmp " + break_stack_.back());
+        return vbase::Status::Ok();
+      case StmtKind::kContinue:
+        if (continue_stack_.empty()) {
+          return Err(s.line, "continue outside loop");
+        }
+        Emit("jmp " + continue_stack_.back());
+        return vbase::Status::Ok();
+    }
+    return Err(s.line, "unhandled statement");
+  }
+
+  // --- Loads/stores ------------------------------------------------------------------
+
+  // r0 = *[r0] typed.
+  void EmitLoad(const Type& t) {
+    if (!t.IsPtr() && t.base == Type::Base::kChar) {
+      Emit("ld8 r0, [r0+0]");
+    } else {
+      Emit("ldw r0, [r0+0]");
+    }
+  }
+
+  // *[r1] = r0 typed.
+  void EmitStore(const Type& t) {
+    if (!t.IsPtr() && t.base == Type::Base::kChar) {
+      Emit("st8 [r1+0], r0");
+    } else {
+      Emit("stw [r1+0], r0");
+    }
+  }
+
+  // --- Addresses: leaves address in r0, returns object type via *out ------------------
+
+  vbase::Status GenAddr(const Expr& e, Type* out) {
+    switch (e.kind) {
+      case ExprKind::kVar: {
+        const VarInfo* v = Lookup(e.name);
+        if (v != nullptr) {
+          if (v->is_param) {
+            Emit("lea r0, [fp+" + std::to_string(2 * w_ + v->param_index * w_) + "]");
+          } else {
+            Emit("lea r0, [fp-" + std::to_string(v->fp_offset) + "]");
+          }
+          *out = v->type;
+          return vbase::Status::Ok();
+        }
+        // Global?
+        for (const Global& g : prog_.globals) {
+          if (g.name == e.name) {
+            Emit("mov r0, " + g.name);
+            *out = g.type;
+            return vbase::Status::Ok();
+          }
+        }
+        return Err(e.line, "undefined variable '" + e.name + "'");
+      }
+      case ExprKind::kDeref: {
+        Type pt;
+        VB_RETURN_IF_ERROR(GenExpr(*e.a, &pt));
+        if (!pt.IsPtr()) {
+          return Err(e.line, "dereference of non-pointer");
+        }
+        *out = pt.Pointee();
+        return vbase::Status::Ok();
+      }
+      case ExprKind::kIndex: {
+        Type bt;
+        VB_RETURN_IF_ERROR(GenExpr(*e.a, &bt));  // base pointer value (arrays decay)
+        if (!bt.IsPtr()) {
+          return Err(e.line, "indexing a non-pointer");
+        }
+        Emit("push r0");
+        Type it;
+        VB_RETURN_IF_ERROR(GenExpr(*e.b, &it));
+        const int size = ElemSize(bt);
+        if (size > 1) {
+          Emit("mov r2, " + std::to_string(size));
+          Emit("mul r0, r2");
+        }
+        Emit("mov r2, r0");
+        Emit("pop r0");
+        Emit("add r0, r2");
+        *out = bt.Pointee();
+        return vbase::Status::Ok();
+      }
+      default:
+        return Err(e.line, "expression is not an lvalue");
+    }
+  }
+
+  // Whether a variable reference denotes an array (which decays to a pointer
+  // rvalue rather than being loaded).
+  bool VarIsArray(const std::string& name) const {
+    const VarInfo* v = Lookup(name);
+    if (v != nullptr) {
+      return v->is_array;
+    }
+    for (const Global& g : prog_.globals) {
+      if (g.name == name) {
+        return g.array_count >= 0;
+      }
+    }
+    return false;
+  }
+
+  // --- Expressions: value in r0, type via *out ------------------------------------------
+
+  vbase::Status GenExpr(const Expr& e, Type* out) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+        Emit("mov r0, " + std::to_string(e.ival));
+        *out = Type{Type::Base::kInt, 0};
+        return vbase::Status::Ok();
+
+      case ExprKind::kStrLit: {
+        const std::string label = InternString(e.name);
+        Emit("mov r0, " + label);
+        *out = Type{Type::Base::kChar, 1};
+        return vbase::Status::Ok();
+      }
+
+      case ExprKind::kSizeof:
+        Emit("mov r0, " + std::to_string(SizeOf(e.type_arg)));
+        *out = Type{Type::Base::kInt, 0};
+        return vbase::Status::Ok();
+
+      case ExprKind::kVar: {
+        Type ot;
+        VB_RETURN_IF_ERROR(GenAddr(e, &ot));
+        if (VarIsArray(e.name)) {
+          *out = ot.PtrTo();  // decay: the address is the value
+          return vbase::Status::Ok();
+        }
+        EmitLoad(ot);
+        *out = ot;
+        return vbase::Status::Ok();
+      }
+
+      case ExprKind::kIndex:
+      case ExprKind::kDeref: {
+        Type ot;
+        VB_RETURN_IF_ERROR(GenAddr(e, &ot));
+        EmitLoad(ot);
+        *out = ot;
+        return vbase::Status::Ok();
+      }
+
+      case ExprKind::kAddr: {
+        Type ot;
+        VB_RETURN_IF_ERROR(GenAddr(*e.a, &ot));
+        *out = ot.PtrTo();
+        return vbase::Status::Ok();
+      }
+
+      case ExprKind::kUnary: {
+        Type t;
+        VB_RETURN_IF_ERROR(GenExpr(*e.a, &t));
+        if (e.op == "-") {
+          Emit("neg r0");
+        } else if (e.op == "~") {
+          Emit("not r0");
+        } else if (e.op == "!") {
+          Emit("cmp r0, 0");
+          Emit("cset r0, eq");
+        } else {
+          return Err(e.line, "bad unary operator " + e.op);
+        }
+        *out = Type{Type::Base::kInt, 0};
+        return vbase::Status::Ok();
+      }
+
+      case ExprKind::kBinary:
+        return GenBinary(e, out);
+
+      case ExprKind::kCond: {
+        Type t;
+        VB_RETURN_IF_ERROR(GenExpr(*e.a, &t));
+        const std::string lelse = NewLabel();
+        const std::string lend = NewLabel();
+        Emit("cmp r0, 0");
+        Emit("je " + lelse);
+        Type then_t;
+        VB_RETURN_IF_ERROR(GenExpr(*e.b, &then_t));
+        Emit("jmp " + lend);
+        os_ << lelse << ":\n";
+        Type else_t;
+        VB_RETURN_IF_ERROR(GenExpr(*e.c, &else_t));
+        os_ << lend << ":\n";
+        *out = then_t;
+        return vbase::Status::Ok();
+      }
+
+      case ExprKind::kAssign:
+        return GenAssign(e, out);
+
+      case ExprKind::kIncDec: {
+        Type ot;
+        VB_RETURN_IF_ERROR(GenAddr(*e.a, &ot));
+        Emit("push r0");  // address
+        Emit("mov r1, r0");
+        Emit("mov r0, r1");
+        EmitLoad(ot);  // r0 = old value
+        const int step = ot.IsPtr() ? ElemSize(ot) : 1;
+        const bool prefix = e.ival == 1;
+        const std::string op = e.op == "++" ? "add" : "sub";
+        if (prefix) {
+          Emit(op + " r0, " + std::to_string(step));
+          Emit("pop r1");
+          EmitStore(ot);
+        } else {
+          Emit("mov r2, r0");  // save old
+          Emit(op + " r0, " + std::to_string(step));
+          Emit("pop r1");
+          EmitStore(ot);
+          Emit("mov r0, r2");
+        }
+        *out = ot;
+        return vbase::Status::Ok();
+      }
+
+      case ExprKind::kCall:
+        return GenCall(e, out);
+    }
+    return Err(e.line, "unhandled expression");
+  }
+
+  vbase::Status GenBinary(const Expr& e, Type* out) {
+    // Short-circuit forms first.
+    if (e.op == "&&" || e.op == "||") {
+      const std::string lshort = NewLabel();
+      const std::string lend = NewLabel();
+      Type t;
+      VB_RETURN_IF_ERROR(GenExpr(*e.a, &t));
+      Emit("cmp r0, 0");
+      Emit(e.op == "&&" ? "je " + lshort : "jne " + lshort);
+      VB_RETURN_IF_ERROR(GenExpr(*e.b, &t));
+      Emit("cmp r0, 0");
+      Emit(e.op == "&&" ? "je " + lshort : "jne " + lshort);
+      Emit(e.op == "&&" ? "mov r0, 1" : "mov r0, 0");
+      Emit("jmp " + lend);
+      os_ << lshort << ":\n";
+      Emit(e.op == "&&" ? "mov r0, 0" : "mov r0, 1");
+      os_ << lend << ":\n";
+      *out = Type{Type::Base::kInt, 0};
+      return vbase::Status::Ok();
+    }
+
+    Type lt;
+    VB_RETURN_IF_ERROR(GenExpr(*e.a, &lt));
+    Emit("push r0");
+    Type rt;
+    VB_RETURN_IF_ERROR(GenExpr(*e.b, &rt));
+    Emit("mov r2, r0");
+    Emit("pop r0");
+    // r0 = left, r2 = right.
+
+    // Pointer arithmetic scaling.
+    if ((e.op == "+" || e.op == "-") && lt.IsPtr() && !rt.IsPtr()) {
+      const int size = ElemSize(lt);
+      if (size > 1) {
+        Emit("mov r3, " + std::to_string(size));
+        Emit("mul r2, r3");
+      }
+      Emit(e.op == "+" ? "add r0, r2" : "sub r0, r2");
+      *out = lt;
+      return vbase::Status::Ok();
+    }
+    if (e.op == "+" && rt.IsPtr() && !lt.IsPtr()) {
+      const int size = ElemSize(rt);
+      if (size > 1) {
+        Emit("mov r3, " + std::to_string(size));
+        Emit("mul r0, r3");
+      }
+      Emit("add r0, r2");
+      *out = rt;
+      return vbase::Status::Ok();
+    }
+    if (e.op == "-" && lt.IsPtr() && rt.IsPtr()) {
+      Emit("sub r0, r2");
+      const int size = ElemSize(lt);
+      if (size > 1) {
+        Emit("mov r2, " + std::to_string(size));
+        Emit("udiv r0, r2");
+      }
+      *out = Type{Type::Base::kInt, 0};
+      return vbase::Status::Ok();
+    }
+
+    *out = Type{Type::Base::kInt, 0};
+    if (e.op == "+") { Emit("add r0, r2"); return vbase::Status::Ok(); }
+    if (e.op == "-") { Emit("sub r0, r2"); return vbase::Status::Ok(); }
+    if (e.op == "*") { Emit("imul r0, r2"); return vbase::Status::Ok(); }
+    if (e.op == "/") { Emit("idiv r0, r2"); return vbase::Status::Ok(); }
+    if (e.op == "%") { Emit("imod r0, r2"); return vbase::Status::Ok(); }
+    if (e.op == "&") { Emit("and r0, r2"); return vbase::Status::Ok(); }
+    if (e.op == "|") { Emit("or r0, r2"); return vbase::Status::Ok(); }
+    if (e.op == "^") { Emit("xor r0, r2"); return vbase::Status::Ok(); }
+    if (e.op == "<<") { Emit("shl r0, r2"); return vbase::Status::Ok(); }
+    if (e.op == ">>") { Emit("sar r0, r2"); return vbase::Status::Ok(); }
+
+    static const std::map<std::string, std::pair<const char*, const char*>> kCmp = {
+        {"==", {"eq", "eq"}}, {"!=", {"ne", "ne"}}, {"<", {"lt", "b"}},
+        {"<=", {"le", "be"}}, {">", {"gt", "a"}},   {">=", {"ge", "ae"}},
+    };
+    if (auto it = kCmp.find(e.op); it != kCmp.end()) {
+      const bool unsigned_cmp = lt.IsPtr() || rt.IsPtr();
+      Emit("cmp r0, r2");
+      Emit(std::string("cset r0, ") +
+           (unsigned_cmp ? it->second.second : it->second.first));
+      return vbase::Status::Ok();
+    }
+    return Err(e.line, "bad binary operator " + e.op);
+  }
+
+  vbase::Status GenAssign(const Expr& e, Type* out) {
+    if (e.op == "=") {
+      Type rt;
+      VB_RETURN_IF_ERROR(GenExpr(*e.b, &rt));
+      Emit("push r0");
+      Type ot;
+      VB_RETURN_IF_ERROR(GenAddr(*e.a, &ot));
+      Emit("mov r1, r0");
+      Emit("pop r0");
+      EmitStore(ot);
+      *out = ot;
+      return vbase::Status::Ok();
+    }
+    // Compound assignment: op= .
+    Type ot;
+    VB_RETURN_IF_ERROR(GenAddr(*e.a, &ot));
+    Emit("push r0");  // address
+    Emit("mov r1, r0");
+    Emit("mov r0, r1");
+    EmitLoad(ot);     // r0 = old
+    Emit("push r0");
+    Type rt;
+    VB_RETURN_IF_ERROR(GenExpr(*e.b, &rt));
+    Emit("mov r2, r0");
+    Emit("pop r0");   // old
+    const std::string base_op = e.op.substr(0, e.op.size() - 1);
+    if ((base_op == "+" || base_op == "-") && ot.IsPtr()) {
+      const int size = ElemSize(ot);
+      if (size > 1) {
+        Emit("mov r3, " + std::to_string(size));
+        Emit("mul r2, r3");
+      }
+    }
+    if (base_op == "+") Emit("add r0, r2");
+    else if (base_op == "-") Emit("sub r0, r2");
+    else if (base_op == "*") Emit("imul r0, r2");
+    else if (base_op == "/") Emit("idiv r0, r2");
+    else if (base_op == "%") Emit("imod r0, r2");
+    else if (base_op == "&") Emit("and r0, r2");
+    else if (base_op == "|") Emit("or r0, r2");
+    else if (base_op == "^") Emit("xor r0, r2");
+    else if (base_op == "<<") Emit("shl r0, r2");
+    else if (base_op == ">>") Emit("sar r0, r2");
+    else return Err(e.line, "bad compound assignment " + e.op);
+    Emit("pop r1");  // address
+    EmitStore(ot);
+    *out = ot;
+    return vbase::Status::Ok();
+  }
+
+  vbase::Status GenCall(const Expr& e, Type* out) {
+    *out = Type{Type::Base::kInt, 0};
+    if (e.name == "__rdtsc") {
+      Emit("rdtsc r0");
+      return vbase::Status::Ok();
+    }
+    if (e.name == "__hlt") {
+      Emit("hlt");
+      return vbase::Status::Ok();
+    }
+    if (e.name == "__hc0" || e.name == "__hc1" || e.name == "__hc2" || e.name == "__hc3") {
+      const int n = e.name[4] - '0';
+      if (static_cast<int>(e.args.size()) != n + 1) {
+        return Err(e.line, e.name + " expects " + std::to_string(n + 1) + " arguments");
+      }
+      // The port must be a compile-time constant (it is encoded in `out`).
+      if (e.args[0]->kind != ExprKind::kIntLit) {
+        return Err(e.line, "hypercall port must be an integer literal");
+      }
+      const int64_t port = e.args[0]->ival;
+      // Evaluate hypercall operands right-to-left, then pop into r1..rN.
+      for (int i = n; i >= 1; --i) {
+        Type t;
+        VB_RETURN_IF_ERROR(GenExpr(*e.args[static_cast<size_t>(i)], &t));
+        Emit("push r0");
+      }
+      for (int i = 1; i <= n; ++i) {
+        Emit("pop r" + std::to_string(i));
+      }
+      Emit("mov r0, 0");
+      Emit("out " + std::to_string(port) + ", r0");
+      return vbase::Status::Ok();
+    }
+    const Function* callee = prog_.FindFunction(e.name);
+    if (callee == nullptr) {
+      return Err(e.line, "call to undefined function '" + e.name + "'");
+    }
+    if (callee->params.size() != e.args.size()) {
+      return Err(e.line, "call to '" + e.name + "' with " + std::to_string(e.args.size()) +
+                             " args, expected " + std::to_string(callee->params.size()));
+    }
+    for (int i = static_cast<int>(e.args.size()) - 1; i >= 0; --i) {
+      Type t;
+      VB_RETURN_IF_ERROR(GenExpr(*e.args[static_cast<size_t>(i)], &t));
+      Emit("push r0");
+    }
+    Emit("call " + e.name);
+    if (!e.args.empty()) {
+      Emit("add sp, " + std::to_string(e.args.size() * static_cast<size_t>(w_)));
+    }
+    *out = callee->ret;
+    return vbase::Status::Ok();
+  }
+
+  // --- Data ---------------------------------------------------------------------------
+
+  static std::string EscapeAsm(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      switch (c) {
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        case '\0': out += "\\0"; break;
+        case '\\': out += "\\\\"; break;
+        case '"': out += "\\\""; break;
+        default: out += c;
+      }
+    }
+    return out;
+  }
+
+  std::string InternString(const std::string& value) {
+    auto it = string_labels_.find(value);
+    if (it != string_labels_.end()) {
+      return it->second;
+    }
+    const std::string label = ".Lstr" + std::to_string(string_labels_.size());
+    string_labels_[value] = label;
+    strings_ << label << ":\n  .asciz \"" << EscapeAsm(value) << "\"\n";
+    return label;
+  }
+
+  void EmitGlobal(const Global& g) {
+    const bool is_char = !g.type.IsPtr() && g.type.base == Type::Base::kChar;
+    if (!is_char) {
+      os_ << ".align " << w_ << "\n";
+    }
+    os_ << g.name << ":\n";
+    const int64_t count = g.array_count >= 0 ? g.array_count : 1;
+    const int unit = is_char ? 1 : w_;
+    if (g.has_string_init) {
+      os_ << "  .asciz \"" << EscapeAsm(g.init_string) << "\"\n";
+      const int64_t used = static_cast<int64_t>(g.init_string.size()) + 1;
+      if (count * unit > used) {
+        os_ << "  .space " << (count * unit - used) << "\n";
+      }
+      return;
+    }
+    if (!g.init_values.empty()) {
+      os_ << "  " << (is_char ? ".byte" : WordDirective());
+      for (size_t i = 0; i < g.init_values.size(); ++i) {
+        os_ << (i == 0 ? " " : ", ") << g.init_values[i];
+      }
+      os_ << "\n";
+      const int64_t used = static_cast<int64_t>(g.init_values.size()) * unit;
+      if (count * unit > used) {
+        os_ << "  .space " << (count * unit - used) << "\n";
+      }
+      return;
+    }
+    os_ << "  .space " << count * unit << "\n";
+  }
+
+  const Program& prog_;
+  const int w_;
+  std::ostringstream os_;
+  std::ostringstream strings_;
+  std::map<std::string, std::string> string_labels_;
+  std::vector<std::unordered_map<std::string, VarInfo>> scopes_;
+  std::vector<std::string> break_stack_;
+  std::vector<std::string> continue_stack_;
+  const Function* cur_fn_ = nullptr;
+  int64_t cur_offset_ = 0;
+  int label_counter_ = 0;
+};
+
+}  // namespace
+
+vbase::Result<std::string> Generate(const Program& program, const std::string& entry,
+                                    int word_bytes) {
+  CodeGen gen(program, word_bytes);
+  return gen.Run(entry);
+}
+
+}  // namespace vcc

@@ -1,0 +1,84 @@
+// vcc CLI driver: compiles a virtine C source file and emits a generated C++
+// header with embedded images + invocation specs (the host-side stubs the
+// paper's LLVM pass injects at call sites).
+//
+// Usage: vcc <input.vc> [-o out.h] [--env real16|prot32|long64] [--asm]
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/vcc/vcc.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: vcc <input.vc> [-o out.h] [--env real16|prot32|long64] [--asm]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  std::string output;
+  std::string env_name = "long64";
+  bool dump_asm = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) {
+      output = argv[++i];
+    } else if (arg == "--env" && i + 1 < argc) {
+      env_name = argv[++i];
+    } else if (arg == "--asm") {
+      dump_asm = true;
+    } else if (!arg.empty() && arg[0] != '-') {
+      input = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (input.empty()) {
+    return Usage();
+  }
+  vrt::Env env = vrt::Env::kLong64;
+  if (env_name == "real16") {
+    env = vrt::Env::kReal16;
+  } else if (env_name == "prot32") {
+    env = vrt::Env::kProt32;
+  } else if (env_name != "long64") {
+    return Usage();
+  }
+
+  std::ifstream in(input);
+  if (!in) {
+    std::fprintf(stderr, "vcc: cannot open %s\n", input.c_str());
+    return 1;
+  }
+  std::stringstream source;
+  source << in.rdbuf();
+
+  auto virtines = vcc::CompileVirtines(source.str(), env);
+  if (!virtines.ok()) {
+    std::fprintf(stderr, "vcc: %s\n", virtines.status().ToString().c_str());
+    return 1;
+  }
+  if (dump_asm) {
+    for (const auto& cv : *virtines) {
+      std::printf(";;; virtine %s (%d args, image %zu bytes)\n%s\n", cv.name.c_str(),
+                  cv.num_args, cv.image.bytes.size(), cv.asm_text.c_str());
+    }
+    return 0;
+  }
+  const std::string header = vcc::EmitCppHeader(*virtines, "VCC_GENERATED_H_");
+  if (output.empty()) {
+    std::fputs(header.c_str(), stdout);
+  } else {
+    std::ofstream out(output);
+    out << header;
+    std::fprintf(stderr, "vcc: wrote %s (%zu virtines)\n", output.c_str(), virtines->size());
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "src/vhw/mem.h"
+
+#include <algorithm>
+
+namespace vhw {
+
+GuestMemory::GuestMemory(uint64_t size) {
+  const uint64_t rounded = (size + kPageSize - 1) & ~(kPageSize - 1);
+  bytes_.assign(rounded, 0);
+  dirty_.assign((NumPages() + 63) / 64, 0);
+  const uint64_t regions = (rounded + kRegionSize - 1) >> kRegionBits;
+  ept_.assign((regions + 63) / 64, 0);
+}
+
+vbase::Status GuestMemory::Read(uint64_t gpa, void* dst, uint64_t len) const {
+  if (!Contains(gpa, len)) {
+    return vbase::OutOfRange("guest read out of bounds");
+  }
+  std::memcpy(dst, bytes_.data() + gpa, len);
+  return vbase::Status::Ok();
+}
+
+vbase::Status GuestMemory::Write(uint64_t gpa, const void* src, uint64_t len) {
+  if (!Contains(gpa, len)) {
+    return vbase::OutOfRange("guest write out of bounds");
+  }
+  if (len == 0) {
+    return vbase::Status::Ok();
+  }
+  std::memcpy(bytes_.data() + gpa, src, len);
+  MarkDirty(gpa, len);
+  // Host-side writes prefault the EPT for the touched regions (the
+  // hypervisor's image copy populates mappings before the guest runs, so
+  // the guest does not eat EPT-violation charges for its own image).
+  for (uint64_t r = gpa >> kRegionBits; r <= (gpa + len - 1) >> kRegionBits; ++r) {
+    ept_[r >> 6] |= 1ULL << (r & 63);
+  }
+  return vbase::Status::Ok();
+}
+
+uint64_t GuestMemory::CountDirtyPages() const {
+  uint64_t n = 0;
+  for (uint64_t w : dirty_) {
+    n += static_cast<uint64_t>(__builtin_popcountll(w));
+  }
+  return n;
+}
+
+uint64_t GuestMemory::ZeroDirtyPages() {
+  uint64_t zeroed = 0;
+  const uint64_t pages = NumPages();
+  for (uint64_t p = 0; p < pages; ++p) {
+    if (PageDirty(p)) {
+      std::memset(bytes_.data() + (p << kPageBits), 0, kPageSize);
+      zeroed += kPageSize;
+    }
+  }
+  ClearDirty();
+  return zeroed;
+}
+
+void GuestMemory::ClearDirty() { std::fill(dirty_.begin(), dirty_.end(), 0); }
+
+void GuestMemory::ResetEpt() { std::fill(ept_.begin(), ept_.end(), 0); }
+
+}  // namespace vhw

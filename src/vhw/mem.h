@@ -1,0 +1,96 @@
+// Guest physical memory with dirty-page and EPT first-touch tracking.
+//
+// Dirty tracking (4 KB granularity) lets the Wasp pool clean a released
+// virtine shell by zeroing only the pages it touched (the paper's
+// `vm.clean()`), and lets snapshot restores copy only what changed.
+// EPT first-touch tracking (2 MB granularity) feeds the cost model: the
+// first access to a region models a KVM EPT-violation exit; a pooled shell
+// that is reused keeps its EPT, which is precisely why reuse is cheap.
+#ifndef SRC_VHW_MEM_H_
+#define SRC_VHW_MEM_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace vhw {
+
+inline constexpr uint64_t kPageBits = 12;
+inline constexpr uint64_t kPageSize = 1ULL << kPageBits;  // 4 KB
+inline constexpr uint64_t kRegionBits = 21;
+inline constexpr uint64_t kRegionSize = 1ULL << kRegionBits;  // 2 MB
+
+class GuestMemory {
+ public:
+  // Allocates `size` bytes of zeroed guest-physical memory (rounded up to a
+  // whole page).
+  explicit GuestMemory(uint64_t size);
+
+  uint64_t size() const { return bytes_.size(); }
+  uint8_t* data() { return bytes_.data(); }
+  const uint8_t* data() const { return bytes_.data(); }
+
+  // Bounds check helper.
+  bool Contains(uint64_t gpa, uint64_t len) const {
+    return gpa + len >= gpa && gpa + len <= bytes_.size();
+  }
+
+  // Bulk accessors with bounds checks; Write marks dirty pages.
+  vbase::Status Read(uint64_t gpa, void* dst, uint64_t len) const;
+  vbase::Status Write(uint64_t gpa, const void* src, uint64_t len);
+
+  // Hot-path unchecked accessors for the CPU (caller checked bounds).
+  template <typename T>
+  T LoadRaw(uint64_t gpa) const {
+    T v;
+    std::memcpy(&v, bytes_.data() + gpa, sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void StoreRaw(uint64_t gpa, T v) {
+    std::memcpy(bytes_.data() + gpa, &v, sizeof(T));
+    MarkDirty(gpa, sizeof(T));
+  }
+
+  // --- Dirty tracking ------------------------------------------------------
+  void MarkDirty(uint64_t gpa, uint64_t len) {
+    const uint64_t first = gpa >> kPageBits;
+    const uint64_t last = (gpa + len - 1) >> kPageBits;
+    for (uint64_t p = first; p <= last; ++p) {
+      dirty_[p >> 6] |= 1ULL << (p & 63);
+    }
+  }
+  bool PageDirty(uint64_t page) const { return (dirty_[page >> 6] >> (page & 63)) & 1; }
+  uint64_t NumPages() const { return bytes_.size() >> kPageBits; }
+  uint64_t CountDirtyPages() const;
+  // Zeroes every dirty page and clears the dirty bitmap (pool Clean()).
+  // Returns the number of bytes zeroed.
+  uint64_t ZeroDirtyPages();
+  void ClearDirty();
+
+  // --- EPT first-touch model ----------------------------------------------
+  // Returns true when this is the first access to the 2 MB region containing
+  // `gpa` since the last EPT reset (fresh VM); marks it touched.
+  bool TouchRegion(uint64_t gpa) {
+    const uint64_t r = gpa >> kRegionBits;
+    const uint64_t mask = 1ULL << (r & 63);
+    if ((ept_[r >> 6] & mask) != 0) {
+      return false;
+    }
+    ept_[r >> 6] |= mask;
+    return true;
+  }
+  // Drops all EPT mappings (what a freshly created VM context looks like).
+  void ResetEpt();
+
+ private:
+  std::vector<uint8_t> bytes_;
+  std::vector<uint64_t> dirty_;  // 1 bit per 4 KB page
+  std::vector<uint64_t> ept_;    // 1 bit per 2 MB region
+};
+
+}  // namespace vhw
+
+#endif  // SRC_VHW_MEM_H_

@@ -1,0 +1,660 @@
+#include "src/vjs/vjs.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+namespace vjs {
+namespace {
+
+// --- Bytecode ops (shared contract with the engine in EngineSource) ---------
+enum Op : uint8_t {
+  kHalt = 0,
+  kPush = 1,    // i32 little-endian
+  kLoad = 2,    // u8 slot
+  kStore = 3,   // u8 slot
+  kAdd = 4,
+  kSub = 5,
+  kMul = 6,
+  kDiv = 7,
+  kMod = 8,
+  kLt = 9,
+  kLe = 10,
+  kGt = 11,
+  kGe = 12,
+  kEq = 13,
+  kNe = 14,
+  kJmp = 15,    // i16 relative to next instruction
+  kJz = 16,     // pops condition
+  kCallB = 17,  // u8 builtin, u8 nargs; result pushed
+  kAnd = 18,
+  kOr = 19,
+  kXor = 20,
+  kShl = 21,
+  kShr = 22,
+  kNot = 23,
+  kNeg = 24,
+  kPop = 25,
+};
+
+// Builtin indices.
+enum Builtin : uint8_t {
+  kInputLen = 0,
+  kInput = 1,
+  kOut = 2,
+  kB64 = 3,
+};
+
+struct JsToken {
+  enum Kind { kEof, kIdent, kNum, kPunct } kind = kEof;
+  std::string text;
+  int64_t value = 0;
+  int line = 1;
+};
+
+class ScriptCompiler {
+ public:
+  explicit ScriptCompiler(const std::string& src) : src_(src) {}
+
+  vbase::Result<std::vector<uint8_t>> Run() {
+    VB_RETURN_IF_ERROR(Tokenize());
+    while (!Is(JsToken::kEof)) {
+      VB_RETURN_IF_ERROR(Statement());
+    }
+    code_.push_back(kHalt);
+    return code_;
+  }
+
+ private:
+  vbase::Status Err(const std::string& msg) {
+    return vbase::InvalidArgument("microjs line " + std::to_string(Peek().line) + ": " + msg);
+  }
+
+  vbase::Status Tokenize() {
+    size_t i = 0;
+    int line = 1;
+    const size_t n = src_.size();
+    while (i < n) {
+      const char c = src_[i];
+      if (c == '\n') {
+        ++line;
+        ++i;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '/' && i + 1 < n && src_[i + 1] == '/') {
+        while (i < n && src_[i] != '\n') {
+          ++i;
+        }
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t j = i;
+        while (j < n && (std::isalnum(static_cast<unsigned char>(src_[j])) || src_[j] == '_')) {
+          ++j;
+        }
+        toks_.push_back({JsToken::kIdent, src_.substr(i, j - i), 0, line});
+        i = j;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        size_t j = i;
+        int64_t v = 0;
+        while (j < n && std::isdigit(static_cast<unsigned char>(src_[j]))) {
+          v = v * 10 + (src_[j] - '0');
+          ++j;
+        }
+        toks_.push_back({JsToken::kNum, src_.substr(i, j - i), v, line});
+        i = j;
+        continue;
+      }
+      static const char* kPuncts[] = {"<=", ">=", "==", "!=", "&&", "||", "<<", ">>",
+                                      "+", "-", "*", "/", "%", "&", "|", "^", "!",
+                                      "<", ">", "=", "(", ")", "{", "}", ";", ","};
+      bool matched = false;
+      for (const char* p : kPuncts) {
+        const size_t len = std::char_traits<char>::length(p);
+        if (src_.compare(i, len, p) == 0) {
+          toks_.push_back({JsToken::kPunct, p, 0, line});
+          i += len;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        return vbase::InvalidArgument("microjs: bad character at line " + std::to_string(line));
+      }
+    }
+    toks_.push_back({JsToken::kEof, "", 0, line});
+    return vbase::Status::Ok();
+  }
+
+  const JsToken& Peek() const { return toks_[std::min(pos_, toks_.size() - 1)]; }
+  const JsToken& Next() { return toks_[std::min(pos_++, toks_.size() - 1)]; }
+  bool Is(JsToken::Kind k) const { return Peek().kind == k; }
+  bool IsP(const char* p) const { return Peek().kind == JsToken::kPunct && Peek().text == p; }
+  bool IsI(const char* w) const { return Peek().kind == JsToken::kIdent && Peek().text == w; }
+  bool EatP(const char* p) {
+    if (IsP(p)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool EatI(const char* w) {
+    if (IsI(w)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  vbase::Status Expect(const char* p) {
+    if (!EatP(p)) {
+      return Err(std::string("expected '") + p + "'");
+    }
+    return vbase::Status::Ok();
+  }
+
+  void Emit(uint8_t b) { code_.push_back(b); }
+  void Emit32(int32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      Emit(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  size_t EmitJump(uint8_t op) {
+    Emit(op);
+    Emit(0);
+    Emit(0);
+    return code_.size() - 2;
+  }
+  void PatchJump(size_t at) {
+    const int32_t rel = static_cast<int32_t>(code_.size()) - static_cast<int32_t>(at) - 2;
+    code_[at] = static_cast<uint8_t>(rel);
+    code_[at + 1] = static_cast<uint8_t>(rel >> 8);
+  }
+
+  vbase::Result<int> Slot(const std::string& name, bool create) {
+    auto it = slots_.find(name);
+    if (it != slots_.end()) {
+      return it->second;
+    }
+    if (!create) {
+      return Err("undefined variable '" + name + "'");
+    }
+    if (slots_.size() >= 250) {
+      return Err("too many variables");
+    }
+    const int slot = static_cast<int>(slots_.size());
+    slots_[name] = slot;
+    return slot;
+  }
+
+  vbase::Status Statement() {
+    if (EatI("var")) {
+      if (!Is(JsToken::kIdent)) {
+        return Err("expected variable name");
+      }
+      std::string name = Next().text;
+      auto slot = Slot(name, /*create=*/true);
+      if (!slot.ok()) {
+        return slot.status();
+      }
+      VB_RETURN_IF_ERROR(Expect("="));
+      VB_RETURN_IF_ERROR(Expression());
+      VB_RETURN_IF_ERROR(Expect(";"));
+      Emit(kStore);
+      Emit(static_cast<uint8_t>(*slot));
+      return vbase::Status::Ok();
+    }
+    if (EatI("while")) {
+      const size_t head = code_.size();
+      VB_RETURN_IF_ERROR(Expect("("));
+      VB_RETURN_IF_ERROR(Expression());
+      VB_RETURN_IF_ERROR(Expect(")"));
+      const size_t exit_jump = EmitJump(kJz);
+      VB_RETURN_IF_ERROR(Block());
+      // Back-edge.
+      Emit(kJmp);
+      const int32_t rel = static_cast<int32_t>(head) - (static_cast<int32_t>(code_.size()) + 2);
+      Emit(static_cast<uint8_t>(rel));
+      Emit(static_cast<uint8_t>(rel >> 8));
+      PatchJump(exit_jump);
+      return vbase::Status::Ok();
+    }
+    if (EatI("if")) {
+      VB_RETURN_IF_ERROR(Expect("("));
+      VB_RETURN_IF_ERROR(Expression());
+      VB_RETURN_IF_ERROR(Expect(")"));
+      const size_t else_jump = EmitJump(kJz);
+      VB_RETURN_IF_ERROR(Block());
+      if (EatI("else")) {
+        const size_t end_jump = EmitJump(kJmp);
+        PatchJump(else_jump);
+        VB_RETURN_IF_ERROR(Block());
+        PatchJump(end_jump);
+      } else {
+        PatchJump(else_jump);
+      }
+      return vbase::Status::Ok();
+    }
+    // Assignment or expression statement.
+    if (Is(JsToken::kIdent) && toks_[pos_ + 1].kind == JsToken::kPunct &&
+        toks_[pos_ + 1].text == "=") {
+      std::string name = Next().text;
+      Next();  // '='
+      auto slot = Slot(name, /*create=*/false);
+      if (!slot.ok()) {
+        return slot.status();
+      }
+      VB_RETURN_IF_ERROR(Expression());
+      VB_RETURN_IF_ERROR(Expect(";"));
+      Emit(kStore);
+      Emit(static_cast<uint8_t>(*slot));
+      return vbase::Status::Ok();
+    }
+    VB_RETURN_IF_ERROR(Expression());
+    VB_RETURN_IF_ERROR(Expect(";"));
+    Emit(kPop);
+    return vbase::Status::Ok();
+  }
+
+  vbase::Status Block() {
+    if (EatP("{")) {
+      while (!IsP("}")) {
+        if (Is(JsToken::kEof)) {
+          return Err("unterminated block");
+        }
+        VB_RETURN_IF_ERROR(Statement());
+      }
+      Next();
+      return vbase::Status::Ok();
+    }
+    return Statement();
+  }
+
+  static int Prec(const std::string& op) {
+    if (op == "||") return 1;
+    if (op == "&&") return 2;
+    if (op == "|") return 3;
+    if (op == "^") return 4;
+    if (op == "&") return 5;
+    if (op == "==" || op == "!=") return 6;
+    if (op == "<" || op == "<=" || op == ">" || op == ">=") return 7;
+    if (op == "<<" || op == ">>") return 8;
+    if (op == "+" || op == "-") return 9;
+    if (op == "*" || op == "/" || op == "%") return 10;
+    return -1;
+  }
+
+  vbase::Status Expression(int min_prec = 0) {
+    VB_RETURN_IF_ERROR(Unary());
+    while (Peek().kind == JsToken::kPunct) {
+      const int prec = Prec(Peek().text);
+      if (prec < 0 || prec < min_prec) {
+        break;
+      }
+      std::string op = Next().text;
+      // && / || compile to bitwise forms (operands are 0/1 comparisons in
+      // practice); microjs has no short-circuit side effects to preserve.
+      VB_RETURN_IF_ERROR(Expression(prec + 1));
+      if (op == "+") Emit(kAdd);
+      else if (op == "-") Emit(kSub);
+      else if (op == "*") Emit(kMul);
+      else if (op == "/") Emit(kDiv);
+      else if (op == "%") Emit(kMod);
+      else if (op == "<") Emit(kLt);
+      else if (op == "<=") Emit(kLe);
+      else if (op == ">") Emit(kGt);
+      else if (op == ">=") Emit(kGe);
+      else if (op == "==") Emit(kEq);
+      else if (op == "!=") Emit(kNe);
+      else if (op == "&" || op == "&&") Emit(kAnd);
+      else if (op == "|" || op == "||") Emit(kOr);
+      else if (op == "^") Emit(kXor);
+      else if (op == "<<") Emit(kShl);
+      else if (op == ">>") Emit(kShr);
+      else return Err("bad operator " + op);
+    }
+    return vbase::Status::Ok();
+  }
+
+  vbase::Status Unary() {
+    if (EatP("-")) {
+      VB_RETURN_IF_ERROR(Unary());
+      Emit(kNeg);
+      return vbase::Status::Ok();
+    }
+    if (EatP("!")) {
+      VB_RETURN_IF_ERROR(Unary());
+      Emit(kNot);
+      return vbase::Status::Ok();
+    }
+    return Primary();
+  }
+
+  vbase::Status Primary() {
+    if (Is(JsToken::kNum)) {
+      Emit(kPush);
+      Emit32(static_cast<int32_t>(Next().value));
+      return vbase::Status::Ok();
+    }
+    if (EatP("(")) {
+      VB_RETURN_IF_ERROR(Expression());
+      return Expect(")");
+    }
+    if (Is(JsToken::kIdent)) {
+      std::string name = Next().text;
+      if (EatP("(")) {
+        static const std::map<std::string, std::pair<Builtin, int>> kBuiltins = {
+            {"input_len", {kInputLen, 0}},
+            {"input", {kInput, 1}},
+            {"out", {kOut, 1}},
+            {"b64", {kB64, 1}},
+        };
+        auto it = kBuiltins.find(name);
+        if (it == kBuiltins.end()) {
+          return Err("unknown function '" + name + "'");
+        }
+        int nargs = 0;
+        if (!IsP(")")) {
+          while (true) {
+            VB_RETURN_IF_ERROR(Expression());
+            ++nargs;
+            if (!EatP(",")) {
+              break;
+            }
+          }
+        }
+        VB_RETURN_IF_ERROR(Expect(")"));
+        if (nargs != it->second.second) {
+          return Err("wrong argument count for '" + name + "'");
+        }
+        Emit(kCallB);
+        Emit(static_cast<uint8_t>(it->second.first));
+        Emit(static_cast<uint8_t>(nargs));
+        return vbase::Status::Ok();
+      }
+      auto slot = Slot(name, /*create=*/false);
+      if (!slot.ok()) {
+        return slot.status();
+      }
+      Emit(kLoad);
+      Emit(static_cast<uint8_t>(*slot));
+      return vbase::Status::Ok();
+    }
+    return Err("expected expression");
+  }
+
+  const std::string& src_;
+  std::vector<JsToken> toks_;
+  size_t pos_ = 0;
+  std::vector<uint8_t> code_;
+  std::map<std::string, int> slots_;
+};
+
+}  // namespace
+
+vbase::Result<std::vector<uint8_t>> CompileScript(const std::string& source) {
+  ScriptCompiler compiler(source);
+  return compiler.Run();
+}
+
+const char* Base64ScriptSource() {
+  return R"js(
+var n = input_len();
+var i = 0;
+while (i + 3 <= n) {
+  var x = input(i) * 65536 + input(i + 1) * 256 + input(i + 2);
+  out(b64((x / 262144) % 64));
+  out(b64((x / 4096) % 64));
+  out(b64((x / 64) % 64));
+  out(b64(x % 64));
+  i = i + 3;
+}
+var r = n - i;
+if (r == 1) {
+  var y = input(i) * 65536;
+  out(b64((y / 262144) % 64));
+  out(b64((y / 4096) % 64));
+  out(61);
+  out(61);
+}
+if (r == 2) {
+  var z = input(i) * 65536 + input(i + 1) * 256;
+  out(b64((z / 262144) % 64));
+  out(b64((z / 4096) % 64));
+  out(b64((z / 64) % 64));
+  out(61);
+}
+)js";
+}
+
+std::string HostBase64(const std::vector<uint8_t>& data) {
+  static const char* kTab = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+  std::string out;
+  size_t i = 0;
+  while (i + 3 <= data.size()) {
+    const uint32_t x = (data[i] << 16) | (data[i + 1] << 8) | data[i + 2];
+    out += kTab[(x >> 18) & 63];
+    out += kTab[(x >> 12) & 63];
+    out += kTab[(x >> 6) & 63];
+    out += kTab[x & 63];
+    i += 3;
+  }
+  const size_t rem = data.size() - i;
+  if (rem == 1) {
+    const uint32_t x = data[i] << 16;
+    out += kTab[(x >> 18) & 63];
+    out += kTab[(x >> 12) & 63];
+    out += "==";
+  } else if (rem == 2) {
+    const uint32_t x = (data[i] << 16) | (data[i + 1] << 8);
+    out += kTab[(x >> 18) & 63];
+    out += kTab[(x >> 12) & 63];
+    out += kTab[(x >> 6) & 63];
+    out += '=';
+  }
+  return out;
+}
+
+std::string EngineSource(const std::vector<uint8_t>& script, bool teardown) {
+  std::ostringstream os;
+  os << "char SCRIPT[" << script.size() << "] = {";
+  for (size_t i = 0; i < script.size(); ++i) {
+    os << static_cast<int>(script[i]) << (i + 1 < script.size() ? "," : "");
+  }
+  os << "};\n";
+  os << "int TEARDOWN = " << (teardown ? 1 : 0) << ";\n";
+  os << R"vc(
+char B64TAB[65] = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+// Engine state (all heap-allocated by engine_init, Duktape-context style).
+int *E_STACK;
+int *E_VARS;
+int *E_OBJS;
+char *E_IN;
+char *E_OUT;
+int E_INN = 0;
+int E_OUTN = 0;
+int E_NOBJS = 0;
+
+// Allocates the interpreter stack, variable slots, an object heap of 96
+// initialized objects, and I/O buffers — the engine-warm-up work that the
+// snapshot optimization elides.
+int engine_init() {
+  int i;
+  char *p;
+  E_STACK = malloc(8192);
+  E_VARS = malloc(2048);
+  E_OBJS = malloc(2048);
+  E_IN = malloc(65536);
+  E_OUT = malloc(98304);
+  E_NOBJS = 96;
+  for (i = 0; i < E_NOBJS; i = i + 1) {
+    p = malloc(256);
+    memset(p, i & 255, 256);
+    E_OBJS[i] = p;
+  }
+  for (i = 0; i < 256; i = i + 1) {
+    E_VARS[i] = 0;
+  }
+  return 0;
+}
+
+// Releases the object heap (clearing each object models destructor /
+// finalizer work).  Skipped by the NT variants.
+int engine_teardown() {
+  int i;
+  char *p;
+  for (i = 0; i < E_NOBJS; i = i + 1) {
+    p = E_OBJS[i];
+    memset(p, 0, 256);
+    free(p);
+  }
+  return 0;
+}
+
+int run(char *code) {
+  int pc;
+  int sp;
+  int op;
+  int a;
+  int b;
+  pc = 0;
+  sp = 0;
+  while (1) {
+    op = code[pc];
+    pc = pc + 1;
+    if (op == 0) {
+      return 0;
+    }
+    if (op == 1) {  // PUSH i32
+      a = code[pc] | (code[pc + 1] << 8) | (code[pc + 2] << 16) | (code[pc + 3] << 24);
+      if (a & 2147483648) {
+        a = a - 4294967296;
+      }
+      pc = pc + 4;
+      E_STACK[sp] = a;
+      sp = sp + 1;
+      continue;
+    }
+    if (op == 2) {  // LOAD
+      E_STACK[sp] = E_VARS[code[pc]];
+      pc = pc + 1;
+      sp = sp + 1;
+      continue;
+    }
+    if (op == 3) {  // STORE
+      sp = sp - 1;
+      E_VARS[code[pc]] = E_STACK[sp];
+      pc = pc + 1;
+      continue;
+    }
+    if (op >= 4 && op <= 14 || op >= 18 && op <= 22) {  // binary ops
+      sp = sp - 2;
+      a = E_STACK[sp];
+      b = E_STACK[sp + 1];
+      if (op == 4) { a = a + b; }
+      if (op == 5) { a = a - b; }
+      if (op == 6) { a = a * b; }
+      if (op == 7) { a = a / b; }
+      if (op == 8) { a = a % b; }
+      if (op == 9) { a = a < b; }
+      if (op == 10) { a = a <= b; }
+      if (op == 11) { a = a > b; }
+      if (op == 12) { a = a >= b; }
+      if (op == 13) { a = a == b; }
+      if (op == 14) { a = a != b; }
+      if (op == 18) { a = a & b; }
+      if (op == 19) { a = a | b; }
+      if (op == 20) { a = a ^ b; }
+      if (op == 21) { a = a << b; }
+      if (op == 22) { a = a >> b; }
+      E_STACK[sp] = a;
+      sp = sp + 1;
+      continue;
+    }
+    if (op == 15) {  // JMP i16
+      a = code[pc] | (code[pc + 1] << 8);
+      if (a & 32768) {
+        a = a - 65536;
+      }
+      pc = pc + 2 + a;
+      continue;
+    }
+    if (op == 16) {  // JZ
+      a = code[pc] | (code[pc + 1] << 8);
+      if (a & 32768) {
+        a = a - 65536;
+      }
+      pc = pc + 2;
+      sp = sp - 1;
+      if (E_STACK[sp] == 0) {
+        pc = pc + a;
+      }
+      continue;
+    }
+    if (op == 17) {  // CALLB builtin nargs
+      a = code[pc];
+      b = code[pc + 1];
+      pc = pc + 2;
+      sp = sp - b;
+      if (a == 0) {
+        E_STACK[sp] = E_INN;
+      }
+      if (a == 1) {
+        E_STACK[sp] = E_IN[E_STACK[sp]];
+      }
+      if (a == 2) {
+        E_OUT[E_OUTN] = E_STACK[sp];
+        E_OUTN = E_OUTN + 1;
+        E_STACK[sp] = 0;
+      }
+      if (a == 3) {
+        E_STACK[sp] = B64TAB[E_STACK[sp] & 63];
+      }
+      sp = sp + 1;
+      continue;
+    }
+    if (op == 23) {  // NOT
+      E_STACK[sp - 1] = !E_STACK[sp - 1];
+      continue;
+    }
+    if (op == 24) {  // NEG
+      E_STACK[sp - 1] = -E_STACK[sp - 1];
+      continue;
+    }
+    if (op == 25) {  // POP
+      sp = sp - 1;
+      continue;
+    }
+    return -1;  // bad opcode
+  }
+  return 0;
+}
+
+// Returns the in-guest cycles spent on init + run + teardown: the engine
+// cost with zero virtualization overhead (the native baseline).
+int main() {
+  int t0;
+  int t1;
+  t0 = __rdtsc();
+  engine_init();
+  v_snapshot();  // Section 6.5: snapshot after long-mode boot + engine init
+  E_INN = get_data(E_IN, 65536);
+  run(SCRIPT);
+  return_data(E_OUT, E_OUTN);
+  if (TEARDOWN) {
+    engine_teardown();
+  }
+  t1 = __rdtsc();
+  return t1 - t0;
+}
+)vc";
+  return os.str();
+}
+
+}  // namespace vjs

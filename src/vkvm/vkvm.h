@@ -1,0 +1,139 @@
+// vkvm — a KVM-shaped hypervisor substrate.
+//
+// This layer mirrors the structure of the Linux KVM API the paper builds on:
+// a VM object owning guest physical memory (KVM_CREATE_VM +
+// KVM_SET_USER_MEMORY_REGION), a vCPU whose Run() drives the guest until the
+// next exit (the KVM_RUN ioctl), and exit reasons for HLT, port I/O, and
+// faults.  It is backed by the `vhw` software machine because this
+// environment has no /dev/kvm (see DESIGN.md §2); `KvmHardwareAvailable()`
+// reports whether a real KVM device exists so deployments with hardware
+// virtualization can detect it.
+//
+// Host-side costs that the paper measures from userspace — VM-context
+// creation and the per-KVM_RUN syscall/ring-transition/vmrun overhead — are
+// charged here, against Figure 2/8-calibrated constants, and the real
+// wall-clock cost of the actual host work (memory allocation and zeroing) is
+// naturally incurred by the implementation.
+#ifndef SRC_VKVM_VKVM_H_
+#define SRC_VKVM_VKVM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/vhw/cost_model.h"
+#include "src/vhw/cpu.h"
+#include "src/vhw/mem.h"
+
+namespace vkvm {
+
+// Host-side modeled costs (cycles at the 2.69 GHz reference clock),
+// calibrated to Figure 2 / Figure 8 / Table 2 of the paper.
+struct HostCostModel {
+  // KVM_CREATE_VM + KVM_CREATE_VCPU + memory-region setup: the host kernel
+  // allocates VMCS/VMCB state and mappings ("we pay a higher cost to
+  // construct a virtine due to the host kernel's internal allocation of the
+  // VM state").
+  uint64_t vm_create = 250000;
+  // One KVM_RUN round trip observed from userspace: syscall entry, sanity
+  // checks, vmrun, vmexit, syscall return.
+  uint64_t vmrun = 4300;
+  // Reference points (Figures 2 and 8).  pthread/process are also measured
+  // for real on this host by the benchmarks; SGX rows have no hardware here
+  // and are paper-reported constants.
+  uint64_t pthread_create = 26000;
+  uint64_t process_fork = 1200000;
+  uint64_t sgx_create = 30000000;
+  uint64_t sgx_ecall = 14000;
+  // Host memcpy bandwidth for modeled image-load / snapshot-restore charges:
+  // tinker measures 6.7 GB/s (Section 6.2), i.e. ~2.49 bytes per cycle at
+  // 2.69 GHz.
+  double memcpy_bytes_per_cycle = 2.49;
+};
+
+// Returns true when a real /dev/kvm exists and is openable on this host.
+bool KvmHardwareAvailable();
+
+// Exit reasons surfaced to the embedder (mirrors kvm_run::exit_reason).
+enum class ExitReason : uint8_t {
+  kHlt,
+  kIo,
+  kFault,
+  kBrk,
+  kInsnLimit,
+};
+
+struct RunResult {
+  ExitReason reason = ExitReason::kFault;
+  uint16_t port = 0;
+  bool io_is_in = false;
+  uint8_t io_reg = 0;
+  std::string fault;
+};
+
+struct VmConfig {
+  uint64_t mem_size = 1ULL << 20;  // 1 MB default guest memory
+  vhw::CostModel guest_costs;
+  HostCostModel host_costs;
+};
+
+// A virtual machine: guest memory + one vCPU.
+//
+// Modeled-cycle accounting: `host_cycles()` accumulates host-side charges
+// (creation, per-Run vmrun overhead); guest-side cycles accumulate on the
+// CPU (`cpu().cycles()`).  `total_cycles()` is their sum.
+class Vm {
+ public:
+  // Creates a VM: allocates zeroed guest memory (real work) and charges the
+  // modeled creation cost.
+  static std::unique_ptr<Vm> Create(const VmConfig& config);
+
+  vhw::GuestMemory& memory() { return mem_; }
+  const vhw::GuestMemory& memory() const { return mem_; }
+  vhw::Cpu& cpu() { return cpu_; }
+  const vhw::Cpu& cpu() const { return cpu_; }
+
+  // Loads a binary blob at `gpa` (the embedder's KVM_SET_USER_MEMORY_REGION
+  // + image copy step).
+  vbase::Status LoadBlob(uint64_t gpa, const void* data, uint64_t len);
+
+  // Resets the vCPU to real mode at `entry` (does not touch memory).
+  void ResetVcpu(uint64_t entry) { cpu_.Reset(entry); }
+
+  // Runs the vCPU until the next exit; the KVM_RUN analogue.  Charges the
+  // vmrun host cost per call.
+  RunResult Run(uint64_t max_insns = UINT64_MAX >> 1);
+
+  // Guest-virtual-address accessors used by hypercall handlers; translation
+  // happens under the *current* guest paging mode, and all accesses are
+  // bounds-checked, so a hostile guest pointer cannot reach host memory.
+  vbase::Status ReadVirt(uint64_t va, void* dst, uint64_t len);
+  vbase::Status WriteVirt(uint64_t va, const void* src, uint64_t len);
+  // Reads a NUL-terminated guest string (bounded by max_len).
+  vbase::Result<std::string> ReadCString(uint64_t va, uint64_t max_len = 4096);
+
+  uint64_t host_cycles() const { return host_cycles_; }
+  void AddHostCycles(uint64_t c) { host_cycles_ += c; }
+  uint64_t total_cycles() const { return host_cycles_ + cpu_.cycles(); }
+  // Resets both cycle counters (used when a pooled shell is re-deployed and
+  // accounting restarts for the new virtine).
+  void ResetAccounting() {
+    host_cycles_ = 0;
+    cpu_.set_cycles(0);
+  }
+
+  const VmConfig& config() const { return config_; }
+
+ private:
+  explicit Vm(const VmConfig& config);
+
+  VmConfig config_;
+  vhw::GuestMemory mem_;
+  vhw::Cpu cpu_;
+  uint64_t host_cycles_ = 0;
+};
+
+}  // namespace vkvm
+
+#endif  // SRC_VKVM_VKVM_H_

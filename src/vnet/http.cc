@@ -1,0 +1,118 @@
+#include "src/vnet/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace vnet {
+namespace {
+
+std::string ToLower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) {
+    ++b;
+  }
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+std::string HttpRequest::Header(const std::string& name) const {
+  const std::string lower = ToLower(name);
+  for (const auto& [key, value] : headers) {
+    if (ToLower(key) == lower) {
+      return value;
+    }
+  }
+  return "";
+}
+
+vbase::Result<HttpRequest> ParseRequest(const std::string& data) {
+  const size_t head_end = data.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    return vbase::FailedPrecondition("incomplete request head");
+  }
+  HttpRequest req;
+  size_t pos = 0;
+  size_t line_end = data.find("\r\n", pos);
+  const std::string request_line = data.substr(pos, line_end - pos);
+  {
+    std::istringstream is(request_line);
+    if (!(is >> req.method >> req.target >> req.version)) {
+      return vbase::InvalidArgument("malformed request line: " + request_line);
+    }
+    if (req.version.rfind("HTTP/", 0) != 0) {
+      return vbase::InvalidArgument("bad HTTP version: " + req.version);
+    }
+  }
+  pos = line_end + 2;
+  while (pos < head_end) {
+    line_end = data.find("\r\n", pos);
+    if (line_end == std::string::npos || line_end > head_end) {
+      line_end = head_end;
+    }
+    const std::string line = data.substr(pos, line_end - pos);
+    pos = line_end + 2;
+    if (line.empty()) {
+      break;
+    }
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return vbase::InvalidArgument("malformed header line: " + line);
+    }
+    req.headers.emplace_back(Trim(line.substr(0, colon)), Trim(line.substr(colon + 1)));
+  }
+  // Body.
+  const std::string cl = req.Header("content-length");
+  if (!cl.empty()) {
+    uint64_t want = 0;
+    for (char c : cl) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        return vbase::InvalidArgument("bad content-length");
+      }
+      want = want * 10 + static_cast<uint64_t>(c - '0');
+    }
+    const size_t body_start = head_end + 4;
+    if (data.size() - body_start < want) {
+      return vbase::FailedPrecondition("incomplete body");
+    }
+    req.body = data.substr(body_start, want);
+  }
+  return req;
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string BuildResponse(int status, const std::string& body,
+                          const std::vector<std::pair<std::string, std::string>>& headers) {
+  std::ostringstream os;
+  os << "HTTP/1.0 " << status << " " << ReasonPhrase(status) << "\r\n";
+  os << "Content-Length: " << body.size() << "\r\n";
+  for (const auto& [key, value] : headers) {
+    os << key << ": " << value << "\r\n";
+  }
+  os << "\r\n" << body;
+  return os.str();
+}
+
+}  // namespace vnet

@@ -1,0 +1,40 @@
+// Minimal HTTP/1.x request parsing and response building (the substrate for
+// the paper's echo server, static-file server, and serverless front end).
+#ifndef SRC_VNET_HTTP_H_
+#define SRC_VNET_HTTP_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace vnet {
+
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  std::string version;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  // Case-insensitive header lookup; empty string when absent.
+  std::string Header(const std::string& name) const;
+};
+
+// Parses a complete request (head + optional Content-Length body) from a
+// byte buffer.  Returns kFailedPrecondition("incomplete") when more bytes
+// are needed — callers accumulate and retry.
+vbase::Result<HttpRequest> ParseRequest(const std::string& data);
+
+// Serializes a response with Content-Length and the given extra headers.
+std::string BuildResponse(int status, const std::string& body,
+                          const std::vector<std::pair<std::string, std::string>>& headers = {});
+
+// Status reason phrases ("OK", "Not Found", ...).
+const char* ReasonPhrase(int status);
+
+}  // namespace vnet
+
+#endif  // SRC_VNET_HTTP_H_

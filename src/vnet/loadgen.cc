@@ -1,0 +1,50 @@
+#include "src/vnet/loadgen.h"
+
+#include <mutex>
+#include <thread>
+
+#include "src/base/clock.h"
+
+namespace vnet {
+
+LoadResult RunClosedLoop(int workers, int requests_per_worker, const RequestFn& fn) {
+  LoadResult result;
+  std::mutex mu;
+  vbase::WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&] {
+      std::vector<double> local;
+      uint64_t local_failures = 0;
+      local.reserve(static_cast<size_t>(requests_per_worker));
+      for (int i = 0; i < requests_per_worker; ++i) {
+        const double latency = fn();
+        if (latency < 0) {
+          ++local_failures;
+        } else {
+          local.push_back(latency);
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      result.latencies_us.insert(result.latencies_us.end(), local.begin(), local.end());
+      result.failures += local_failures;
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  result.wall_seconds = static_cast<double>(timer.ElapsedNanos()) / 1e9;
+  std::vector<double> rps;
+  rps.reserve(result.latencies_us.size());
+  for (double lat : result.latencies_us) {
+    if (lat > 0) {
+      rps.push_back(1e6 / lat);
+    }
+  }
+  result.harmonic_mean_rps = vbase::HarmonicMean(rps);
+  result.latency = vbase::Summarize(result.latencies_us);
+  return result;
+}
+
+}  // namespace vnet

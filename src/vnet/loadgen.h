@@ -1,0 +1,38 @@
+// Load generation: a Locust-like workload driver (the paper generates its
+// Figure 13/15 load with Locust and a custom request generator).
+//
+// Closed-loop mode: N worker threads issue requests back to back (Figure
+// 13's localhost generator).  Results aggregate per-request latencies and
+// the harmonic-mean throughput the paper reports.
+#ifndef SRC_VNET_LOADGEN_H_
+#define SRC_VNET_LOADGEN_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/base/stats.h"
+
+namespace vnet {
+
+// Issues one request; returns its latency in microseconds (modeled or wall,
+// the caller decides the currency) or a negative value on failure.
+using RequestFn = std::function<double()>;
+
+struct LoadResult {
+  std::vector<double> latencies_us;
+  uint64_t failures = 0;
+  double wall_seconds = 0;
+  // Requests per second computed from the latency samples as the paper does
+  // for Figure 13b: harmonic mean of per-request throughput (1e6/latency).
+  double harmonic_mean_rps = 0;
+  vbase::Summary latency;
+};
+
+// Runs `requests_per_worker` sequential requests on each of `workers`
+// threads.  RequestFn must be thread-safe.
+LoadResult RunClosedLoop(int workers, int requests_per_worker, const RequestFn& fn);
+
+}  // namespace vnet
+
+#endif  // SRC_VNET_LOADGEN_H_

@@ -1,0 +1,200 @@
+#include "src/vnet/server.h"
+
+#include "src/base/clock.h"
+#include "src/base/log.h"
+#include "src/vcc/vcc.h"
+#include "src/vnet/http.h"
+#include "src/vrt/vlibc.h"
+
+namespace vnet {
+
+std::string EchoHandlerSource() {
+  // The guest timestamps its startup milestones with in-guest rdtsc (the
+  // paper takes the Figure 4 measurements "inside the virtual context") and
+  // ships them back through return_data after the last milestone.
+  return R"vc(
+int main() {
+  char buf[1024];
+  int mb[3];
+  int n;
+  mb[0] = __rdtsc();          // milestone: reached C code (server main)
+  n = recv(buf, 1023);
+  mb[1] = __rdtsc();          // milestone: request received (recv returned)
+  if (n > 0) {
+    send(buf, n);
+  }
+  mb[2] = __rdtsc();          // milestone: response sent (send returned)
+  return_data(mb, sizeof(int) * 3);
+  return n;
+}
+)vc";
+}
+
+std::string StaticHandlerSource() {
+  // Exactly the paper's seven host interactions (Section 6.3):
+  // (1) recv request, (2) stat file, (3) open, (4) read, (5) send response,
+  // (6) close, (7) exit.
+  return R"vc(
+int parse_path(char *req, char *path) {
+  int i;
+  int j;
+  i = 0;
+  while (req[i] && req[i] != ' ') {
+    i = i + 1;
+  }
+  if (!req[i]) {
+    return -1;
+  }
+  i = i + 1;
+  j = 0;
+  while (req[i] && req[i] != ' ' && j < 255) {
+    path[j] = req[i];
+    i = i + 1;
+    j = j + 1;
+  }
+  path[j] = 0;
+  if (j == 0) {
+    return -1;
+  }
+  return j;
+}
+
+int main() {
+  char req[2048];
+  char path[256];
+  char hdr[320];
+  char num[24];
+  char *body;
+  char *resp;
+  int n;
+  int sz;
+  int fd;
+  int m;
+  int hl;
+  n = recv(req, 2047);                                   // (1)
+  if (n <= 0) {
+    exit(1);
+    return 1;
+  }
+  req[n] = 0;
+  if (parse_path(req, path) < 0) {
+    send("HTTP/1.0 400 Bad Request\r\nContent-Length: 0\r\n\r\n", 47);
+    exit(1);
+    return 1;
+  }
+  sz = stat_size(path);                                  // (2)
+  if (sz < 0) {
+    send("HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\n\r\n", 45);
+    exit(2);
+    return 2;
+  }
+  fd = open(path);                                       // (3)
+  body = malloc(sz + 16);
+  m = read(fd, body, sz);                                // (4)
+  strcpy(hdr, "HTTP/1.0 200 OK\r\nContent-Length: ");
+  itoa(num, m);
+  strcat(hdr, num);
+  strcat(hdr, "\r\n\r\n");
+  hl = strlen(hdr);
+  resp = malloc(hl + m + 16);
+  memcpy(resp, hdr, hl);
+  memcpy(resp + hl, body, m);
+  send(resp, hl + m);                                    // (5)
+  close(fd);                                             // (6)
+  exit(0);                                               // (7)
+  return 0;
+}
+)vc";
+}
+
+const char* ServeModeName(ServeMode mode) {
+  switch (mode) {
+    case ServeMode::kNative:
+      return "native";
+    case ServeMode::kVirtine:
+      return "virtine";
+    case ServeMode::kVirtineSnapshot:
+      return "virtine+snapshot";
+  }
+  return "?";
+}
+
+StaticHttpServer::StaticHttpServer(wasp::Runtime* runtime, wasp::HostEnv* env)
+    : runtime_(runtime), env_(env) {
+  auto image = vcc::CompileProgram(vrt::VlibcSource() + StaticHandlerSource(), "main",
+                                   vrt::Env::kLong64);
+  VB_CHECK(image.ok(), "static handler failed to compile: " << image.status().ToString());
+  handler_image_ = std::move(*image);
+}
+
+vbase::Result<ServeStats> StaticHttpServer::HandleConnection(wasp::ByteChannel& channel,
+                                                             ServeMode mode) {
+  switch (mode) {
+    case ServeMode::kNative:
+      return HandleNative(channel);
+    case ServeMode::kVirtine:
+      return HandleVirtine(channel, /*snapshot=*/false);
+    case ServeMode::kVirtineSnapshot:
+      return HandleVirtine(channel, /*snapshot=*/true);
+  }
+  return vbase::InvalidArgument("bad mode");
+}
+
+vbase::Result<ServeStats> StaticHttpServer::HandleNative(wasp::ByteChannel& channel) {
+  vbase::WallTimer timer;
+  ServeStats stats;
+  char buf[2048];
+  const uint64_t n = channel.guest().Read(buf, sizeof(buf) - 1);
+  auto req = ParseRequest(std::string(buf, n));
+  if (!req.ok()) {
+    channel.guest().WriteString(BuildResponse(400, ""));
+    stats.status = 400;
+    stats.wall_ns = timer.ElapsedNanos();
+    return stats;
+  }
+  auto content = env_->GetFile(req->target);
+  if (!content.ok()) {
+    channel.guest().WriteString(BuildResponse(404, ""));
+    stats.status = 404;
+    stats.wall_ns = timer.ElapsedNanos();
+    return stats;
+  }
+  channel.guest().WriteString(
+      BuildResponse(200, std::string(content->begin(), content->end())));
+  stats.status = 200;
+  stats.wall_ns = timer.ElapsedNanos();
+  return stats;
+}
+
+vbase::Result<ServeStats> StaticHttpServer::HandleVirtine(wasp::ByteChannel& channel,
+                                                          bool snapshot) {
+  vbase::WallTimer timer;
+  wasp::VirtineSpec spec;
+  spec.image = &handler_image_;
+  spec.key = "http-static-handler";
+  spec.mem_size = 1ULL << 20;
+  spec.policy = wasp::kPolicyStream | wasp::kPolicyFileIo | wasp::MaskOf(wasp::kHcSnapshot);
+  spec.use_snapshot = snapshot;
+  spec.env = env_;
+  spec.channel = &channel.guest();
+  wasp::RunOutcome outcome = runtime_->Invoke(spec);
+  if (!outcome.status.ok()) {
+    return outcome.status;
+  }
+  ServeStats stats;
+  stats.status = outcome.exit_code == 0 ? 200 : outcome.exit_code == 2 ? 404 : 400;
+  stats.modeled_cycles = outcome.stats.total_cycles;
+  stats.guest_cycles = outcome.stats.guest_cycles;
+  stats.io_exits = outcome.stats.io_exits;
+  stats.wall_ns = timer.ElapsedNanos();
+  // Strip VM-exit charges to approximate the same handler logic running
+  // natively in the host process (Figure 13's baseline denominator).
+  const auto& costs = runtime_->options().vm_defaults.guest_costs;
+  const uint64_t exit_charges =
+      outcome.stats.io_exits * (costs.io_exit + costs.io_entry) + costs.hlt_exit;
+  stats.deisolated_cycles =
+      outcome.stats.guest_cycles > exit_charges ? outcome.stats.guest_cycles - exit_charges : 0;
+  return stats;
+}
+
+}  // namespace vnet

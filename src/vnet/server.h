@@ -1,0 +1,72 @@
+// The HTTP servers of Sections 4.2 and 6.3.
+//
+// * EchoHandlerSource(): the protected-mode echo guest (Figure 4) that
+//   timestamps its startup milestones with in-guest rdtsc.
+// * StaticHandlerSource(): the static-file guest handler (Figure 13) that
+//   performs exactly the paper's seven host interactions per request:
+//   recv, stat, open, read, send, close, exit.
+// * StaticHttpServer: serves one connection per request either natively
+//   (host C++ handler, the baseline) or in a fresh virtine (with or without
+//   snapshotting).
+#ifndef SRC_VNET_SERVER_H_
+#define SRC_VNET_SERVER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/isa/image.h"
+#include "src/wasp/channel.h"
+#include "src/wasp/host_env.h"
+#include "src/wasp/runtime.h"
+
+namespace vnet {
+
+// Guest source (vcc dialect; concatenate after vlibc).
+std::string EchoHandlerSource();
+std::string StaticHandlerSource();
+
+enum class ServeMode {
+  kNative,           // host C++ handler, no isolation
+  kVirtine,          // fresh virtine per connection
+  kVirtineSnapshot,  // virtine per connection, snapshot fast path
+};
+
+const char* ServeModeName(ServeMode mode);
+
+struct ServeStats {
+  int status = 0;               // HTTP status returned
+  uint64_t modeled_cycles = 0;  // end-to-end modeled cost of handling
+  uint64_t guest_cycles = 0;
+  uint64_t io_exits = 0;
+  uint64_t wall_ns = 0;
+  // Modeled cost of the same handler logic with no virtualization at all
+  // (guest cycles minus VM-exit charges): the native-equivalent cost used
+  // as the Figure 13 baseline denominator.
+  uint64_t deisolated_cycles = 0;
+};
+
+// A single-threaded static-content HTTP server over loopback channels.
+class StaticHttpServer {
+ public:
+  // `env` holds the served files; must outlive the server.
+  StaticHttpServer(wasp::Runtime* runtime, wasp::HostEnv* env);
+
+  // Handles exactly one request that the client has already written to
+  // `channel.host()`.  The response is written back to the channel.
+  vbase::Result<ServeStats> HandleConnection(wasp::ByteChannel& channel, ServeMode mode);
+
+  const visa::Image& handler_image() const { return handler_image_; }
+
+ private:
+  vbase::Result<ServeStats> HandleNative(wasp::ByteChannel& channel);
+  vbase::Result<ServeStats> HandleVirtine(wasp::ByteChannel& channel, bool snapshot);
+
+  wasp::Runtime* runtime_;
+  wasp::HostEnv* env_;
+  visa::Image handler_image_;
+};
+
+}  // namespace vnet
+
+#endif  // SRC_VNET_SERVER_H_

@@ -1,0 +1,172 @@
+#include "src/vnet/serverless.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+
+#include "src/base/clock.h"
+#include "src/base/rng.h"
+#include "src/vcc/vcc.h"
+#include "src/vjs/vjs.h"
+#include "src/vrt/vlibc.h"
+
+namespace vnet {
+
+Vespid::Vespid(wasp::Runtime* runtime) : runtime_(runtime) {}
+
+vbase::Status Vespid::Register(const std::string& name, const std::string& microjs_source) {
+  auto bytecode = vjs::CompileScript(microjs_source);
+  if (!bytecode.ok()) {
+    return bytecode.status();
+  }
+  auto image = vcc::CompileProgram(
+      vrt::VlibcSource() + vjs::EngineSource(*bytecode, /*teardown=*/false), "main",
+      vrt::Env::kLong64);
+  if (!image.ok()) {
+    return image.status();
+  }
+  functions_.push_back(Fn{name, std::move(*image)});
+  return vbase::Status::Ok();
+}
+
+vbase::Result<Vespid::Invocation> Vespid::Invoke(const std::string& name,
+                                                 const std::vector<uint8_t>& payload) {
+  const Fn* fn = nullptr;
+  for (const Fn& f : functions_) {
+    if (f.name == name) {
+      fn = &f;
+      break;
+    }
+  }
+  if (fn == nullptr) {
+    return vbase::NotFound("no such function: " + name);
+  }
+  vbase::WallTimer timer;
+  wasp::VirtineSpec spec;
+  spec.image = &fn->image;
+  spec.key = "vespid-" + name;
+  spec.mem_size = 2ULL << 20;
+  spec.policy = wasp::kPolicyManaged;
+  spec.use_snapshot = true;
+  spec.crt_snapshot = false;  // the engine snapshots itself after init
+  spec.input = &payload;
+  wasp::RunOutcome outcome = runtime_->Invoke(spec);
+  if (!outcome.status.ok()) {
+    return outcome.status;
+  }
+  Invocation inv;
+  inv.output = std::move(outcome.output);
+  inv.modeled_cycles = outcome.stats.total_cycles;
+  inv.wall_ns = timer.ElapsedNanos();
+  inv.cold = !outcome.stats.restored_snapshot;
+  return inv;
+}
+
+SimResult SimulateBurstyLoad(const std::vector<LoadPhase>& phases, const ExecutorModel& model,
+                             uint64_t seed) {
+  // Generate arrival times (uniform spacing with +/-25% jitter within each
+  // phase so bursts are not perfectly synchronized).
+  vbase::Rng rng(seed);
+  std::vector<double> arrivals_us;
+  double t = 0;
+  for (const LoadPhase& phase : phases) {
+    const double end = t + phase.duration_s * 1e6;
+    if (phase.rps <= 0) {
+      t = end;
+      continue;
+    }
+    const double gap = 1e6 / phase.rps;
+    double at = t;
+    while (at < end) {
+      arrivals_us.push_back(at + gap * 0.25 * (rng.NextDouble() - 0.5));
+      at += gap;
+    }
+    t = end;
+  }
+  std::sort(arrivals_us.begin(), arrivals_us.end());
+
+  // Instance state: busy-until time and last-used time per instance.
+  struct Instance {
+    double busy_until_us = 0;
+    double last_used_us = 0;
+  };
+  std::vector<Instance> instances;
+  SimResult result;
+  std::vector<double> latencies;
+  std::map<int64_t, SimPoint> buckets;
+
+  for (const double arrival : arrivals_us) {
+    // Reclaim idle instances (container platforms tear warm instances down).
+    instances.erase(std::remove_if(instances.begin(), instances.end(),
+                                   [&](const Instance& inst) {
+                                     return inst.busy_until_us < arrival &&
+                                            arrival - inst.last_used_us >
+                                                model.idle_timeout_s * 1e6;
+                                   }),
+                    instances.end());
+
+    // Pick the warm instance that frees up soonest; spawn cold if allowed.
+    double start_us;
+    bool cold = false;
+    Instance* chosen = nullptr;
+    for (Instance& inst : instances) {
+      if (chosen == nullptr || inst.busy_until_us < chosen->busy_until_us) {
+        chosen = &inst;
+      }
+    }
+    const bool can_spawn = static_cast<int>(instances.size()) < model.max_instances;
+    if (chosen == nullptr ||
+        (chosen->busy_until_us > arrival && can_spawn)) {
+      instances.push_back(Instance{});
+      chosen = &instances.back();
+      cold = true;
+      start_us = arrival;
+    } else {
+      start_us = std::max(arrival, chosen->busy_until_us);
+    }
+    const double service = model.warm_service_us + (cold ? model.cold_extra_us : 0);
+    const double done = start_us + service;
+    chosen->busy_until_us = done;
+    chosen->last_used_us = done;
+
+    const double latency = done - arrival;
+    latencies.push_back(latency);
+    const int64_t bucket = static_cast<int64_t>(arrival / 1e6);
+    SimPoint& point = buckets[bucket];
+    point.t_s = static_cast<double>(bucket);
+    point.offered_rps += 1;
+    point.mean_latency_us += latency;  // sum; normalized below
+    if (cold) {
+      ++point.cold_starts;
+      ++result.total_cold_starts;
+    }
+    const int64_t done_bucket = static_cast<int64_t>(done / 1e6);
+    buckets[done_bucket].t_s = static_cast<double>(done_bucket);
+    buckets[done_bucket].completed_rps += 1;
+    ++result.total_requests;
+  }
+
+  // Normalize buckets and compute per-bucket p99.
+  std::map<int64_t, std::vector<double>> bucket_lats;
+  {
+    size_t i = 0;
+    for (const double arrival : arrivals_us) {
+      bucket_lats[static_cast<int64_t>(arrival / 1e6)].push_back(latencies[i++]);
+    }
+  }
+  for (auto& [bucket, point] : buckets) {
+    if (point.offered_rps > 0) {
+      point.mean_latency_us /= point.offered_rps;
+    }
+    auto it = bucket_lats.find(bucket);
+    if (it != bucket_lats.end()) {
+      point.p99_latency_us = vbase::Quantile(it->second, 0.99);
+    }
+    result.timeline.push_back(point);
+  }
+  result.latency_us = vbase::Summarize(latencies);
+  return result;
+}
+
+}  // namespace vnet

@@ -1,0 +1,99 @@
+// Vespid — the prototype serverless platform of Section 7.1 (Figure 15) —
+// plus the simulated container platform it is compared against.
+//
+// Vespid registers JavaScript (microjs) functions and runs each invocation
+// in a distinct virtine through the Wasp runtime (pool + snapshot).  The
+// comparison platform models a container-per-invocation OpenWhisk-style
+// deployment.  Because this reproduction has no Docker/OpenWhisk, the
+// container platform is an explicit analytic model (DESIGN.md §2):
+// cold-start and warm-start service costs are constants calibrated to
+// published container cold-start measurements, while the *virtine* platform
+// costs come from real invocations measured on this machine.
+//
+// The bursty open-loop experiment (ramp up, two bursts, ramp down — the
+// paper's Locust pattern) is evaluated in virtual time with a discrete-event
+// simulator over per-request service times, which keeps the experiment
+// deterministic and machine-independent.
+#ifndef SRC_VNET_SERVERLESS_H_
+#define SRC_VNET_SERVERLESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/stats.h"
+#include "src/base/status.h"
+#include "src/isa/image.h"
+#include "src/wasp/runtime.h"
+
+namespace vnet {
+
+// --- Vespid: virtine-backed function platform -------------------------------
+
+class Vespid {
+ public:
+  explicit Vespid(wasp::Runtime* runtime);
+
+  // Registers a microjs function under `name`.
+  vbase::Status Register(const std::string& name, const std::string& microjs_source);
+
+  struct Invocation {
+    std::vector<uint8_t> output;
+    uint64_t modeled_cycles = 0;
+    uint64_t wall_ns = 0;
+    bool cold = false;  // no snapshot existed yet
+  };
+
+  // Invokes `name` with `payload` in a fresh virtine.
+  vbase::Result<Invocation> Invoke(const std::string& name,
+                                   const std::vector<uint8_t>& payload);
+
+ private:
+  struct Fn {
+    std::string name;
+    visa::Image image;
+  };
+  wasp::Runtime* runtime_;
+  std::vector<Fn> functions_;
+};
+
+// --- Bursty-load simulation (Figure 15) ---------------------------------------
+
+struct LoadPhase {
+  double rps;         // arrival rate during the phase
+  double duration_s;  // phase length
+};
+
+// An executor model: how long one invocation occupies a worker, and what a
+// cold start costs.
+struct ExecutorModel {
+  std::string name;
+  double warm_service_us;   // service time with a warm instance
+  double cold_extra_us;     // additional first-use cost of a new instance
+  int max_instances;        // concurrency cap
+  double idle_timeout_s;    // instance reclaim after idleness
+};
+
+struct SimPoint {
+  double t_s;            // timeline bucket
+  double offered_rps;    // arrivals in the bucket
+  double completed_rps;  // completions in the bucket
+  double mean_latency_us;
+  double p99_latency_us;
+  uint64_t cold_starts;
+};
+
+struct SimResult {
+  std::vector<SimPoint> timeline;  // 1-second buckets
+  vbase::Summary latency_us;
+  uint64_t total_requests = 0;
+  uint64_t total_cold_starts = 0;
+};
+
+// Runs the open-loop pattern against an executor model in virtual time.
+SimResult SimulateBurstyLoad(const std::vector<LoadPhase>& phases, const ExecutorModel& model,
+                             uint64_t seed = 42);
+
+}  // namespace vnet
+
+#endif  // SRC_VNET_SERVERLESS_H_

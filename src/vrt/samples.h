@@ -1,0 +1,28 @@
+// Hand-written guest assembly samples shared by tests, examples, and the
+// mode-latency benchmark (Figure 3 runs the same fib(20) workload in all
+// three processor modes, so the sample must be mode-agnostic: it only uses
+// word-sized operations).
+#ifndef SRC_VRT_SAMPLES_H_
+#define SRC_VRT_SAMPLES_H_
+
+#include <string>
+
+namespace vrt {
+
+// Recursive Fibonacci: `virtine_main(n)` returns fib(n).  The "simple,
+// recursive implementation" used throughout the paper's microbenchmarks.
+std::string FibSource();
+
+// A minimal virtine that halts immediately (Figure 12's padding baseline).
+std::string HaltSource();
+
+// `virtine_main(a, b)` returns a + b (marshalling smoke test).
+std::string Add2Source();
+
+// Echoes everything from recv back via send until EOF, then exits
+// (Section 4.2's minimal echo server workload, adapted to one connection).
+std::string EchoSource();
+
+}  // namespace vrt
+
+#endif  // SRC_VRT_SAMPLES_H_

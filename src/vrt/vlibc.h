@@ -1,0 +1,27 @@
+// vlibc — the virtine-specific C library (the paper's newlib port analogue,
+// Section 5.3).
+//
+// vlibc is written in the vcc dialect and concatenated with user programs
+// before compilation; the compiler's call-graph cut drops everything the
+// virtine does not use, keeping images small.  Its "system calls" forward to
+// Wasp hypercalls (ports from src/wasp/abi.h, hard-coded as literals because
+// hypercall ports are immediate operands).
+//
+// Provided: hypercall wrappers (exit/console/snapshot/get_data/return_data/
+// open/read/write/close/stat_size/send/recv), string and memory routines
+// (strlen/strcmp/strcpy/strcat/memcpy/memset/memcmp/atoi/itoa/uitoa_hex),
+// console printing helpers (puts/print_int), and a bump-pointer malloc with
+// a trivial free list.
+#ifndef SRC_VRT_VLIBC_H_
+#define SRC_VRT_VLIBC_H_
+
+#include <string>
+
+namespace vrt {
+
+// The vlibc source text (vcc dialect).  Prepend to user programs.
+const std::string& VlibcSource();
+
+}  // namespace vrt
+
+#endif  // SRC_VRT_VLIBC_H_

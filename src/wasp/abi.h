@@ -1,0 +1,86 @@
+// The Wasp hypercall ABI and guest memory-layout contract.
+//
+// Hypercalls are port I/O, as in the paper ("delegation to the client is
+// achieved with hypercalls using virtual I/O ports").  A guest issues
+// `out PORT, r0`; arguments travel in registers r1..r3 and the result is
+// written back into r0 before the vCPU is re-entered.  Hypercalls are
+// designed as *high-level hypervisor services* (mirroring POSIX calls)
+// rather than low-level device emulation, so each service costs exactly one
+// exit.
+//
+// Every port has a policy bit: virtines run default-deny, and a request for
+// a port whose bit is clear terminates the virtine (Section 2: virtines
+// exist in a default-deny environment).  kHcExit is always permitted — the
+// only externally observable behavior Wasp provides by default is the
+// ability to exit.
+#ifndef SRC_WASP_ABI_H_
+#define SRC_WASP_ABI_H_
+
+#include <cstdint>
+
+namespace wasp {
+
+// --- Hypercall ports (all < 64 so they map 1:1 onto policy-mask bits) ------
+inline constexpr uint16_t kHcExit = 1;        // r1 = exit code
+inline constexpr uint16_t kHcConsole = 2;     // r1 = buf va, r2 = len
+inline constexpr uint16_t kHcSnapshot = 3;    // take a snapshot (once only)
+inline constexpr uint16_t kHcGetData = 4;     // r1 = dst va, r2 = cap -> r0 = len (once only)
+inline constexpr uint16_t kHcReturnData = 5;  // r1 = src va, r2 = len
+inline constexpr uint16_t kHcOpen = 16;       // r1 = path va -> r0 = fd | -1
+inline constexpr uint16_t kHcRead = 17;       // r1 = fd, r2 = buf va, r3 = len -> r0 = n | -1
+inline constexpr uint16_t kHcWrite = 18;      // r1 = fd, r2 = buf va, r3 = len -> r0 = n | -1
+inline constexpr uint16_t kHcClose = 19;      // r1 = fd -> r0 = 0 | -1
+inline constexpr uint16_t kHcStat = 20;       // r1 = path va, r2 = statbuf va -> r0 = 0 | -1
+inline constexpr uint16_t kHcSend = 32;       // r1 = buf va, r2 = len -> r0 = n | -1
+inline constexpr uint16_t kHcRecv = 33;       // r1 = buf va, r2 = cap -> r0 = n (0 on EOF)
+
+inline constexpr int kMaxHypercall = 64;
+
+// --- Policy masks -----------------------------------------------------------
+using HypercallMask = uint64_t;
+
+inline constexpr HypercallMask MaskOf(uint16_t port) { return 1ULL << port; }
+
+// `virtine` keyword semantics: deny everything (exit is implicitly allowed).
+inline constexpr HypercallMask kPolicyDenyAll = 0;
+// `virtine_permissive` keyword semantics: allow everything.
+inline constexpr HypercallMask kPolicyAllowAll = ~0ULL;
+// The canned POSIX-like file I/O set.
+inline constexpr HypercallMask kPolicyFileIo =
+    MaskOf(kHcOpen) | MaskOf(kHcRead) | MaskOf(kHcWrite) | MaskOf(kHcClose) | MaskOf(kHcStat);
+// The canned stream set (send/recv proxied to a host byte channel).
+inline constexpr HypercallMask kPolicyStream = MaskOf(kHcSend) | MaskOf(kHcRecv);
+// The managed-runtime set used by the JavaScript case study (Section 6.5):
+// snapshot + get_data + return_data only.
+inline constexpr HypercallMask kPolicyManaged =
+    MaskOf(kHcSnapshot) | MaskOf(kHcGetData) | MaskOf(kHcReturnData);
+
+// --- Guest physical layout ---------------------------------------------------
+// [0x000 ..]        argument/result page (see below)
+// [0x500 ..]        boot info written by the host before entry
+// [0x1000..0x3fff]  page tables built by the long-mode boot stub
+// [0x7000]          initial real-mode stack top (set by the host)
+// [0x8000 ..]       image load address
+// [top of memory]   stack in protected/long mode (from boot info mem_size)
+inline constexpr uint64_t kArgPageAddr = 0x0;
+inline constexpr uint64_t kBootInfoAddr = 0x500;
+inline constexpr uint64_t kRealModeStackTop = 0x7000;
+inline constexpr uint64_t kImageLoadAddr = 0x8000;
+
+// Boot info block (all fields u64, written by the host):
+//   +0  mem_size   (guest memory size; protected/long stubs set sp from it)
+//   +8  flags      (bit 0: issue the snapshot hypercall after runtime init)
+inline constexpr uint64_t kBootFlagSnapshot = 1ULL << 0;
+
+// Argument page layout (word-sized slots; the word size is the natural width
+// of the environment's final execution mode):
+//   word 0: return value   (written by the guest CRT before hlt)
+//   word 1: argc
+//   word 2..2+argc-1: argument words
+//   byte offset kArgBufOffset..: marshalled buffer contents
+inline constexpr uint64_t kArgBufOffset = 0x200;
+inline constexpr uint64_t kArgPageSize = 0x500;  // must stay below boot info
+
+}  // namespace wasp
+
+#endif  // SRC_WASP_ABI_H_

@@ -1,0 +1,80 @@
+// In-process duplex byte channel: the transport behind the send/recv
+// hypercalls (and the loopback "socket" used by the HTTP benchmarks).
+//
+// A channel is a pair of directed byte queues.  The host side (load
+// generator / server front-end) holds one end; the virtine's send/recv
+// hypercall handlers drive the other.  Blocking reads use a condition
+// variable so multi-threaded load generators work; Close() wakes readers
+// with EOF.
+#ifndef SRC_WASP_CHANNEL_H_
+#define SRC_WASP_CHANNEL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wasp {
+
+// One direction of a duplex stream.
+class BytePipe {
+ public:
+  // Appends bytes; wakes blocked readers.  Returns false if closed.
+  bool Write(const void* data, uint64_t len);
+  // Reads up to `len` bytes, blocking until data is available or the pipe is
+  // closed.  Returns the byte count (0 = EOF).
+  uint64_t Read(void* dst, uint64_t len);
+  // Non-blocking variant; returns 0 when empty (even if open).
+  uint64_t TryRead(void* dst, uint64_t len);
+  void Close();
+  bool closed() const;
+  uint64_t bytes_available() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<uint8_t> buf_;
+  bool closed_ = false;
+};
+
+// A duplex channel: `a_to_b` and `b_to_a` pipes plus two endpoint views.
+class ByteChannel {
+ public:
+  // Endpoint view with read/write oriented to one side.
+  class Endpoint {
+   public:
+    Endpoint() = default;
+    Endpoint(BytePipe* in, BytePipe* out) : in_(in), out_(out) {}
+    bool Write(const void* data, uint64_t len) { return out_->Write(data, len); }
+    bool WriteString(const std::string& s) { return Write(s.data(), s.size()); }
+    uint64_t Read(void* dst, uint64_t len) { return in_->Read(dst, len); }
+    // Reads everything currently buffered without blocking.
+    std::vector<uint8_t> Drain();
+    void CloseWrite() { out_->Close(); }
+    bool read_closed() const { return in_->closed() && in_->bytes_available() == 0; }
+
+   private:
+    BytePipe* in_ = nullptr;
+    BytePipe* out_ = nullptr;
+  };
+
+  ByteChannel() : host_(&b_to_a_, &a_to_b_), guest_(&a_to_b_, &b_to_a_) {}
+
+  // The host-side endpoint (e.g. the load generator).
+  Endpoint& host() { return host_; }
+  // The guest-side endpoint (driven by the send/recv hypercall handlers).
+  Endpoint& guest() { return guest_; }
+
+ private:
+  BytePipe a_to_b_;  // host -> guest
+  BytePipe b_to_a_;  // guest -> host
+  Endpoint host_;
+  Endpoint guest_;
+};
+
+}  // namespace wasp
+
+#endif  // SRC_WASP_CHANNEL_H_

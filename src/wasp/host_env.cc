@@ -1,0 +1,85 @@
+#include "src/wasp/host_env.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace wasp {
+
+void HostEnv::PutFile(const std::string& path, std::vector<uint8_t> content) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_[path] = std::move(content);
+}
+
+void HostEnv::PutFile(const std::string& path, const std::string& content) {
+  PutFile(path, std::vector<uint8_t>(content.begin(), content.end()));
+}
+
+bool HostEnv::FileExists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) != 0;
+}
+
+vbase::Result<uint64_t> HostEnv::FileSize(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return vbase::NotFound("no such file: " + path);
+  }
+  return static_cast<uint64_t>(it->second.size());
+}
+
+vbase::Result<std::vector<uint8_t>> HostEnv::GetFile(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return vbase::NotFound("no such file: " + path);
+  }
+  return it->second;
+}
+
+vbase::Result<int64_t> FdTable::Open(const std::string& path) {
+  auto content = env_->GetFile(path);
+  if (!content.ok()) {
+    return content.status();
+  }
+  const int64_t fd = next_fd_++;
+  open_[fd] = OpenFile{std::move(content).value(), 0};
+  return fd;
+}
+
+vbase::Result<int64_t> FdTable::Read(int64_t fd, void* dst, uint64_t len) {
+  auto it = open_.find(fd);
+  if (it == open_.end()) {
+    return vbase::InvalidArgument("bad fd");
+  }
+  OpenFile& f = it->second;
+  const uint64_t avail = f.content.size() - f.cursor;
+  const uint64_t n = std::min(len, avail);
+  std::memcpy(dst, f.content.data() + f.cursor, n);
+  f.cursor += n;
+  return static_cast<int64_t>(n);
+}
+
+vbase::Result<int64_t> FdTable::Write(int64_t fd, const void* src, uint64_t len) {
+  if (open_.find(fd) == open_.end() && fd != 1 && fd != 2) {
+    return vbase::InvalidArgument("bad fd");
+  }
+  const uint8_t* p = static_cast<const uint8_t*>(src);
+  writes_.insert(writes_.end(), p, p + len);
+  return static_cast<int64_t>(len);
+}
+
+vbase::Status FdTable::Close(int64_t fd) {
+  if (open_.erase(fd) == 0) {
+    return vbase::InvalidArgument("bad fd");
+  }
+  return vbase::Status::Ok();
+}
+
+std::vector<uint8_t> FdTable::TakeWrites() {
+  std::vector<uint8_t> out;
+  out.swap(writes_);
+  return out;
+}
+
+}  // namespace wasp

@@ -1,0 +1,143 @@
+#include "src/wasp/pool.h"
+
+#include "src/wasp/abi.h"
+
+namespace wasp {
+
+Pool::Pool(CleanMode mode) : mode_(mode) {
+  if (mode_ == CleanMode::kAsync) {
+    cleaner_ = std::thread([this] { CleanerLoop(); });
+  }
+}
+
+Pool::~Pool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (cleaner_.joinable()) {
+    cleaner_.join();
+  }
+}
+
+void Pool::CleanShell(vkvm::Vm* vm) {
+  // Zero only the pages this virtine dirtied (real work, proportional to
+  // use), reset the vCPU, and restart cycle accounting for the next tenant.
+  // The EPT first-touch map is deliberately retained: reusing the mappings
+  // is exactly why pooled shells are cheap.
+  const uint64_t zeroed = vm->memory().ZeroDirtyPages();
+  vm->ResetVcpu(kImageLoadAddr);
+  vm->ResetAccounting();
+  if (mode_ == CleanMode::kSync) {
+    // Synchronous cleaning sits on the provisioning critical path ("Wasp+C");
+    // charge its modeled memset cost to the shell's next tenant.  The async
+    // cleaner ("Wasp+CA") absorbs it off the critical path instead.
+    vm->AddHostCycles(static_cast<uint64_t>(
+        static_cast<double>(zeroed) / vm->config().host_costs.memcpy_bytes_per_cycle));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.cleans++;
+  stats_.bytes_zeroed += zeroed;
+}
+
+std::unique_ptr<vkvm::Vm> Pool::Acquire(const vkvm::VmConfig& config, bool* from_pool) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.acquires++;
+    auto it = free_.find(config.mem_size);
+    if (it != free_.end() && !it->second.empty()) {
+      std::unique_ptr<vkvm::Vm> vm = std::move(it->second.back());
+      it->second.pop_back();
+      stats_.pool_hits++;
+      if (from_pool != nullptr) {
+        *from_pool = true;
+      }
+      return vm;
+    }
+    stats_.fresh_creates++;
+  }
+  if (from_pool != nullptr) {
+    *from_pool = false;
+  }
+  return vkvm::Vm::Create(config);
+}
+
+void Pool::Release(std::unique_ptr<vkvm::Vm> vm) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.releases++;
+  }
+  switch (mode_) {
+    case CleanMode::kNone:
+      // Drop it: the host kernel reclaims the context.
+      return;
+    case CleanMode::kSync: {
+      CleanShell(vm.get());
+      std::lock_guard<std::mutex> lock(mu_);
+      free_[vm->config().mem_size].push_back(std::move(vm));
+      return;
+    }
+    case CleanMode::kAsync: {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        dirty_.push_back(std::move(vm));
+      }
+      cv_.notify_all();
+      return;
+    }
+  }
+}
+
+void Pool::CleanerLoop() {
+  while (true) {
+    std::unique_ptr<vkvm::Vm> vm;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !dirty_.empty(); });
+      if (stop_ && dirty_.empty()) {
+        return;
+      }
+      vm = std::move(dirty_.front());
+      dirty_.pop_front();
+      ++cleaning_in_flight_;
+    }
+    CleanShell(vm.get());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      free_[vm->config().mem_size].push_back(std::move(vm));
+      --cleaning_in_flight_;
+    }
+    cv_.notify_all();
+  }
+}
+
+void Pool::DrainCleaner() {
+  if (mode_ != CleanMode::kAsync) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return dirty_.empty() && cleaning_in_flight_ == 0; });
+}
+
+void Pool::Prewarm(const vkvm::VmConfig& config, int count) {
+  for (int i = 0; i < count; ++i) {
+    auto vm = vkvm::Vm::Create(config);
+    vm->ResetAccounting();
+    std::lock_guard<std::mutex> lock(mu_);
+    free_[config.mem_size].push_back(std::move(vm));
+  }
+}
+
+PoolStats Pool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t Pool::FreeShells(uint64_t mem_size) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = free_.find(mem_size);
+  return it == free_.end() ? 0 : it->second.size();
+}
+
+}  // namespace wasp

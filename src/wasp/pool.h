@@ -1,0 +1,88 @@
+// The virtine shell pool (Section 5.2, Figure 6).
+//
+// Creating a hardware VM context is expensive (host kernel allocation of
+// VMCS/VMCB state, EPT construction).  Wasp therefore keeps released VM
+// contexts — "shells" — and reuses them: a released shell is *cleaned*
+// (every dirty page zeroed, preventing information leakage) and parked in a
+// free list keyed by memory size.  Cleaning can run synchronously on
+// release ("Wasp+C") or on a background cleaner thread ("Wasp+CA"), which
+// takes cleaning off the acquire/release critical path and brings shell
+// provisioning within a few percent of a bare vmrun.
+#ifndef SRC_WASP_POOL_H_
+#define SRC_WASP_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/vkvm/vkvm.h"
+
+namespace wasp {
+
+enum class CleanMode {
+  kNone,   // no pooling: every release destroys the VM
+  kSync,   // clean on release, inline
+  kAsync,  // clean on a background thread
+};
+
+struct PoolStats {
+  uint64_t acquires = 0;
+  uint64_t pool_hits = 0;       // shells served from the free list
+  uint64_t fresh_creates = 0;   // shells created from scratch
+  uint64_t releases = 0;
+  uint64_t cleans = 0;
+  uint64_t bytes_zeroed = 0;
+};
+
+class Pool {
+ public:
+  explicit Pool(CleanMode mode = CleanMode::kSync);
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  // Acquires a shell with the given configuration, reusing a clean pooled
+  // shell when available.  `*from_pool` (optional) reports which path ran.
+  std::unique_ptr<vkvm::Vm> Acquire(const vkvm::VmConfig& config, bool* from_pool = nullptr);
+
+  // Returns a shell to the pool (cleaning per the pool's mode).
+  void Release(std::unique_ptr<vkvm::Vm> vm);
+
+  // Blocks until the async cleaner has drained its queue (benchmark barrier).
+  void DrainCleaner();
+
+  // Pre-populates the pool with `count` clean shells (benchmark warm-up).
+  void Prewarm(const vkvm::VmConfig& config, int count);
+
+  PoolStats stats() const;
+  size_t FreeShells(uint64_t mem_size) const;
+
+  CleanMode mode() const { return mode_; }
+
+ private:
+  // Zeroes dirty pages and resets vCPU/accounting; the modeled cycle cost of
+  // the zeroing lands on the *next* user via the clean path being off the
+  // acquire path (async) or on release (sync).
+  void CleanShell(vkvm::Vm* vm);
+  void CleanerLoop();
+
+  const CleanMode mode_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<uint64_t, std::vector<std::unique_ptr<vkvm::Vm>>> free_;  // by mem size
+  std::deque<std::unique_ptr<vkvm::Vm>> dirty_;
+  PoolStats stats_;
+  bool stop_ = false;
+  int cleaning_in_flight_ = 0;
+  std::thread cleaner_;
+};
+
+}  // namespace wasp
+
+#endif  // SRC_WASP_POOL_H_

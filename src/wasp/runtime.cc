@@ -1,0 +1,349 @@
+#include "src/wasp/runtime.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/clock.h"
+#include "src/base/log.h"
+
+namespace wasp {
+namespace {
+
+// Upper bounds on guest-supplied lengths accepted by canned handlers; a
+// hostile guest cannot make the host allocate unbounded memory.
+constexpr uint64_t kMaxIoLen = 1ULL << 24;        // 16 MB
+constexpr uint64_t kMaxPathLen = 4096;
+
+}  // namespace
+
+Runtime::Runtime(RuntimeOptions options)
+    : options_(std::move(options)), pool_(options_.clean_mode) {}
+
+vkvm::VmConfig Runtime::MakeVmConfig(uint64_t mem_size) const {
+  vkvm::VmConfig cfg = options_.vm_defaults;
+  cfg.mem_size = mem_size;
+  return cfg;
+}
+
+void Runtime::RestoreSnapshot(vkvm::Vm& vm, const Snapshot& snap) {
+  // Replay dirty pages with memcpy; this is the "simple snapshotting
+  // strategy" whose cost is bounded by memcpy bandwidth (Figure 12).
+  for (const Snapshot::Page& page : snap.pages) {
+    vbase::Status st =
+        vm.memory().Write(page.index << vhw::kPageBits, page.bytes.data(), page.bytes.size());
+    VB_CHECK(st.ok(), "snapshot restore write failed: " << st.ToString());
+  }
+  vm.cpu().RestoreArch(snap.cpu);
+  vm.AddHostCycles(static_cast<uint64_t>(
+      static_cast<double>(snap.byte_size()) /
+      vm.config().host_costs.memcpy_bytes_per_cycle));
+}
+
+SnapshotRef Runtime::TakeSnapshot(vkvm::Vm& vm) {
+  auto snap = std::make_shared<Snapshot>();
+  snap->cpu = vm.cpu().state();
+  snap->mem_size = vm.memory().size();
+  const uint64_t pages = vm.memory().NumPages();
+  for (uint64_t p = 0; p < pages; ++p) {
+    if (!vm.memory().PageDirty(p)) {
+      continue;
+    }
+    Snapshot::Page page;
+    page.index = p;
+    page.bytes.resize(vhw::kPageSize);
+    std::memcpy(page.bytes.data(), vm.memory().data() + (p << vhw::kPageBits), vhw::kPageSize);
+    snap->pages.push_back(std::move(page));
+  }
+  // Taking the snapshot is itself a copy; charge it (the paper's Figure 11
+  // snapshot bars "include the overhead for taking the initial snapshot").
+  vm.AddHostCycles(static_cast<uint64_t>(
+      static_cast<double>(snap->byte_size()) /
+      vm.config().host_costs.memcpy_bytes_per_cycle));
+  return snap;
+}
+
+vbase::Result<int64_t> Runtime::Dispatch(uint16_t port, HypercallFrame& frame) {
+  // Client-defined handlers take precedence (they are what the paper calls
+  // the virtine client's hypercall handlers) but obey the same policy mask.
+  if (auto it = frame.spec.handlers.find(port); it != frame.spec.handlers.end()) {
+    return it->second(frame);
+  }
+  vkvm::Vm& vm = frame.vm;
+  switch (port) {
+    case kHcExit:
+      frame.outcome.exit_code = frame.arg(0);
+      frame.request_exit = true;
+      return 0;
+
+    case kHcConsole: {
+      const uint64_t va = frame.arg(0);
+      const uint64_t len = frame.arg(1);
+      if (len > kMaxIoLen) {
+        return vbase::InvalidArgument("console write too large");
+      }
+      std::vector<char> buf(len);
+      VB_RETURN_IF_ERROR(vm.ReadVirt(va, buf.data(), len));
+      frame.outcome.console.append(buf.data(), len);
+      return static_cast<int64_t>(len);
+    }
+
+    case kHcSnapshot: {
+      if (frame.snapshot_taken) {
+        return vbase::PermissionDenied("snapshot hypercall may only be called once");
+      }
+      frame.snapshot_taken = true;
+      if (frame.spec.use_snapshot && !frame.spec.key.empty() &&
+          snapshots_.Find(frame.spec.key) == nullptr) {
+        snapshots_.Put(frame.spec.key, TakeSnapshot(vm));
+        frame.outcome.stats.took_snapshot = true;
+      }
+      return 0;
+    }
+
+    case kHcGetData: {
+      if (frame.data_fetched) {
+        return vbase::PermissionDenied("get_data hypercall may only be called once");
+      }
+      frame.data_fetched = true;
+      const uint64_t va = frame.arg(0);
+      const uint64_t cap = frame.arg(1);
+      if (cap > kMaxIoLen) {
+        return vbase::InvalidArgument("get_data capacity too large");
+      }
+      if (frame.spec.input == nullptr) {
+        return 0;
+      }
+      const uint64_t n = std::min<uint64_t>(cap, frame.spec.input->size());
+      VB_RETURN_IF_ERROR(vm.WriteVirt(va, frame.spec.input->data(), n));
+      return static_cast<int64_t>(n);
+    }
+
+    case kHcReturnData: {
+      const uint64_t va = frame.arg(0);
+      const uint64_t len = frame.arg(1);
+      if (len > kMaxIoLen) {
+        return vbase::InvalidArgument("return_data too large");
+      }
+      const size_t off = frame.outcome.output.size();
+      frame.outcome.output.resize(off + len);
+      VB_RETURN_IF_ERROR(vm.ReadVirt(va, frame.outcome.output.data() + off, len));
+      return 0;
+    }
+
+    case kHcOpen: {
+      auto path = vm.ReadCString(frame.arg(0), kMaxPathLen);
+      if (!path.ok()) {
+        return path.status();
+      }
+      auto fd = frame.fds.Open(*path);
+      return fd.ok() ? *fd : -1;
+    }
+
+    case kHcRead: {
+      const int64_t fd = static_cast<int64_t>(frame.arg(0));
+      const uint64_t va = frame.arg(1);
+      const uint64_t len = std::min<uint64_t>(frame.arg(2), kMaxIoLen);
+      std::vector<uint8_t> buf(len);
+      auto n = frame.fds.Read(fd, buf.data(), len);
+      if (!n.ok()) {
+        return -1;
+      }
+      VB_RETURN_IF_ERROR(vm.WriteVirt(va, buf.data(), static_cast<uint64_t>(*n)));
+      return *n;
+    }
+
+    case kHcWrite: {
+      const int64_t fd = static_cast<int64_t>(frame.arg(0));
+      const uint64_t va = frame.arg(1);
+      const uint64_t len = frame.arg(2);
+      if (len > kMaxIoLen) {
+        return vbase::InvalidArgument("write too large");
+      }
+      std::vector<uint8_t> buf(len);
+      VB_RETURN_IF_ERROR(vm.ReadVirt(va, buf.data(), len));
+      auto n = frame.fds.Write(fd, buf.data(), len);
+      return n.ok() ? *n : -1;
+    }
+
+    case kHcClose:
+      return frame.fds.Close(static_cast<int64_t>(frame.arg(0))).ok() ? 0 : -1;
+
+    case kHcStat: {
+      auto path = vm.ReadCString(frame.arg(0), kMaxPathLen);
+      if (!path.ok()) {
+        return path.status();
+      }
+      HostEnv* env = frame.spec.env != nullptr ? frame.spec.env : &env_;
+      auto size = env->FileSize(*path);
+      if (!size.ok()) {
+        return -1;
+      }
+      const uint64_t statbuf = frame.arg(1);
+      const uint64_t sz = *size;
+      VB_RETURN_IF_ERROR(vm.WriteVirt(statbuf, &sz, sizeof(sz)));
+      return 0;
+    }
+
+    case kHcSend: {
+      if (frame.spec.channel == nullptr) {
+        return vbase::FailedPrecondition("send: no channel attached");
+      }
+      const uint64_t va = frame.arg(0);
+      const uint64_t len = frame.arg(1);
+      if (len > kMaxIoLen) {
+        return vbase::InvalidArgument("send too large");
+      }
+      std::vector<uint8_t> buf(len);
+      VB_RETURN_IF_ERROR(vm.ReadVirt(va, buf.data(), len));
+      return frame.spec.channel->Write(buf.data(), len) ? static_cast<int64_t>(len) : -1;
+    }
+
+    case kHcRecv: {
+      if (frame.spec.channel == nullptr) {
+        return vbase::FailedPrecondition("recv: no channel attached");
+      }
+      const uint64_t va = frame.arg(0);
+      const uint64_t cap = std::min<uint64_t>(frame.arg(1), kMaxIoLen);
+      std::vector<uint8_t> buf(cap);
+      const uint64_t n = frame.spec.channel->Read(buf.data(), cap);
+      VB_RETURN_IF_ERROR(vm.WriteVirt(va, buf.data(), n));
+      return static_cast<int64_t>(n);
+    }
+
+    default:
+      return vbase::Unimplemented("no handler for hypercall port " + std::to_string(port));
+  }
+}
+
+RunOutcome Runtime::Invoke(const VirtineSpec& spec) {
+  RunOutcome outcome;
+  vbase::WallTimer total_timer;
+  VB_CHECK(spec.image != nullptr, "VirtineSpec.image must be set");
+
+  // Resolve the snapshot first: it decides the load path.
+  SnapshotRef snap;
+  if (spec.use_snapshot && !spec.key.empty()) {
+    snap = snapshots_.Find(spec.key);
+  }
+
+  // --- Acquire a shell (Figure 6: pooled reuse or fresh create) ----------
+  vbase::WallTimer acquire_timer;
+  bool from_pool = false;
+  std::unique_ptr<vkvm::Vm> vm = pool_.Acquire(MakeVmConfig(spec.mem_size), &from_pool);
+  outcome.stats.from_pool = from_pool;
+  outcome.stats.acquire_ns = acquire_timer.ElapsedNanos();
+
+  // --- Load state: snapshot restore or image boot ------------------------
+  vbase::WallTimer load_timer;
+  if (snap != nullptr && snap->mem_size <= vm->memory().size()) {
+    RestoreSnapshot(*vm, *snap);
+    outcome.stats.restored_snapshot = true;
+  } else {
+    snap = nullptr;
+    const visa::Image& image = *spec.image;
+    vbase::Status st = vm->LoadBlob(image.load_addr, image.bytes.data(), image.bytes.size());
+    if (!st.ok()) {
+      outcome.status = std::move(st);
+      pool_.Release(std::move(vm));
+      return outcome;
+    }
+    vm->AddHostCycles(static_cast<uint64_t>(
+        static_cast<double>(image.bytes.size()) /
+        vm->config().host_costs.memcpy_bytes_per_cycle));
+    // Boot info: memory size + flags.
+    uint64_t boot_info[2] = {vm->memory().size(), 0};
+    if (spec.use_snapshot && spec.crt_snapshot && !spec.key.empty()) {
+      boot_info[1] |= kBootFlagSnapshot;
+    }
+    st = vm->memory().Write(kBootInfoAddr, boot_info, sizeof(boot_info));
+    VB_CHECK(st.ok(), "boot info write failed");
+    vm->ResetVcpu(image.entry);
+    vm->cpu().set_reg(visa::kSp, kRealModeStackTop);
+  }
+
+  // --- Marshal arguments (after restore: snapshots resume before the CRT
+  // reads the argument page, so fresh arguments land correctly) -----------
+  if (!spec.args_page.empty()) {
+    VB_CHECK(spec.args_page.size() <= kArgPageSize, "argument page too large");
+    vbase::Status st = vm->memory().Write(kArgPageAddr, spec.args_page.data(),
+                                          spec.args_page.size());
+    VB_CHECK(st.ok(), "argument page write failed");
+  }
+  outcome.stats.load_ns = load_timer.ElapsedNanos();
+
+  // --- Run until completion, interposing on every hypercall --------------
+  vbase::WallTimer run_timer;
+  HostEnv* env = spec.env != nullptr ? spec.env : &env_;
+  HypercallFrame frame(*vm, *this, spec, outcome, env);
+  while (true) {
+    const uint64_t used = vm->cpu().insns_retired();
+    if (used >= spec.max_insns) {
+      outcome.status = vbase::Aborted("instruction budget exhausted (runaway virtine)");
+      break;
+    }
+    vkvm::RunResult run = vm->Run(spec.max_insns - used);
+    if (run.reason == vkvm::ExitReason::kHlt) {
+      break;
+    }
+    if (run.reason == vkvm::ExitReason::kIo) {
+      const uint16_t port = run.port;
+      // Policy check: default-deny.  Exit and snapshot are always permitted:
+      // they are hypervisor-internal services with no externally observable
+      // behavior (and snapshot is enforced once-only), matching the paper's
+      // "no externally observable behavior through hypercalls other than the
+      // ability to exit".
+      if (port != kHcExit && port != kHcSnapshot && port < kMaxHypercall &&
+          (spec.policy & MaskOf(port)) == 0) {
+        outcome.denied = true;
+        outcome.status = vbase::PermissionDenied(
+            "hypercall " + std::to_string(port) + " denied by policy; virtine terminated");
+        break;
+      }
+      auto result = Dispatch(port, frame);
+      if (!result.ok()) {
+        outcome.status = result.status();
+        break;
+      }
+      // Result goes to r0 for `out`, or to the destination register of `in`.
+      vm->cpu().set_reg(run.io_is_in ? run.io_reg : 0, static_cast<uint64_t>(*result));
+      if (frame.request_exit) {
+        break;
+      }
+      continue;
+    }
+    if (run.reason == vkvm::ExitReason::kInsnLimit) {
+      outcome.status = vbase::Aborted("instruction budget exhausted (runaway virtine)");
+      break;
+    }
+    if (run.reason == vkvm::ExitReason::kBrk) {
+      outcome.status = vbase::Aborted("guest breakpoint");
+      break;
+    }
+    outcome.status = vbase::Internal("guest fault: " + run.fault);
+    break;
+  }
+  outcome.stats.run_ns = run_timer.ElapsedNanos();
+
+  // --- Harvest results -----------------------------------------------------
+  if (outcome.status.ok() && spec.word_bytes > 0) {
+    uint64_t word = 0;
+    vbase::Status st = vm->memory().Read(kArgPageAddr, &word,
+                                         static_cast<uint64_t>(spec.word_bytes));
+    if (st.ok()) {
+      outcome.result_word = word;
+    }
+  }
+  outcome.fd_writes = frame.fds.TakeWrites();
+  outcome.stats.guest_cycles = vm->cpu().cycles();
+  outcome.stats.host_cycles = vm->host_cycles();
+  outcome.stats.total_cycles = vm->total_cycles();
+  outcome.stats.io_exits = vm->cpu().io_exits();
+  outcome.stats.insns = vm->cpu().insns_retired();
+
+  // --- Release the shell for cleaning and reuse ---------------------------
+  pool_.Release(std::move(vm));
+  outcome.stats.total_ns = total_timer.ElapsedNanos();
+  return outcome;
+}
+
+}  // namespace wasp

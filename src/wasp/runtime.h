@@ -1,0 +1,169 @@
+// wasp::Runtime — the embeddable virtine hypervisor (the paper's Wasp).
+//
+// A host program (the "virtine client") links against this library and
+// invokes individual functions in isolated virtual-machine contexts.  The
+// runtime owns:
+//   * a shell Pool (cached VM contexts, optionally cleaned asynchronously),
+//   * a SnapshotStore (post-boot/post-init images keyed per virtine),
+//   * the canned hypercall handlers (console, POSIX-like file I/O against a
+//     sandboxed HostEnv, send/recv against a ByteChannel, snapshot,
+//     get_data/return_data), and
+//   * the default-deny policy enforcement: a hypercall whose policy bit is
+//     clear terminates the virtine.
+//
+// The per-invocation flow matches Figure 6/7 of the paper: acquire a shell
+// (pool hit or fresh create), either load the image and boot it or restore a
+// snapshot, marshal arguments into the argument page, run until exit while
+// interposing on every hypercall, harvest results, release the shell for
+// cleaning and reuse.
+#ifndef SRC_WASP_RUNTIME_H_
+#define SRC_WASP_RUNTIME_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/isa/image.h"
+#include "src/wasp/abi.h"
+#include "src/wasp/channel.h"
+#include "src/wasp/host_env.h"
+#include "src/wasp/pool.h"
+#include "src/wasp/snapshot.h"
+#include "src/vkvm/vkvm.h"
+
+namespace wasp {
+
+// Per-invocation measurements.
+struct InvokeStats {
+  uint64_t guest_cycles = 0;   // modeled cycles executed in the guest
+  uint64_t host_cycles = 0;    // modeled host-side charges (create/vmrun/memcpy)
+  uint64_t total_cycles = 0;   // guest + host
+  uint64_t io_exits = 0;       // hypercall exits taken
+  uint64_t insns = 0;          // guest instructions retired
+  bool from_pool = false;      // shell came from the pool
+  bool restored_snapshot = false;
+  bool took_snapshot = false;
+  uint64_t acquire_ns = 0;     // wall: shell acquisition
+  uint64_t load_ns = 0;        // wall: image load or snapshot restore
+  uint64_t run_ns = 0;         // wall: vCPU execution + hypercall handling
+  uint64_t total_ns = 0;       // wall: whole Invoke()
+};
+
+// The result of one virtine invocation.
+struct RunOutcome {
+  vbase::Status status;          // non-OK on fault, denial, or handler error
+  bool denied = false;           // a hypercall was denied by policy
+  uint64_t exit_code = 0;        // from the exit hypercall (0 for plain hlt)
+  uint64_t result_word = 0;      // argument-page word 0 (the return value)
+  std::string console;           // bytes written via the console hypercall
+  std::vector<uint8_t> output;   // bytes returned via return_data
+  std::vector<uint8_t> fd_writes;  // bytes written via the write hypercall
+  InvokeStats stats;
+};
+
+class Runtime;
+
+// Context handed to hypercall handlers.
+struct HypercallFrame {
+  vkvm::Vm& vm;
+  Runtime& runtime;
+  const struct VirtineSpec& spec;
+  RunOutcome& outcome;
+  // Hypercall arguments are registers r1..r3.
+  uint64_t arg(int i) const { return vm.cpu().reg(1 + i); }
+  // Set by handlers to finish the invocation after this hypercall.
+  bool request_exit = false;
+  // Once-only bookkeeping (Section 6.5: "snapshot and get_data cannot be
+  // called more than once").
+  bool snapshot_taken = false;
+  bool data_fetched = false;
+  // Per-invocation fd table for the file hypercalls.
+  FdTable fds;
+
+  HypercallFrame(vkvm::Vm& v, Runtime& r, const struct VirtineSpec& s, RunOutcome& o,
+                 HostEnv* env)
+      : vm(v), runtime(r), spec(s), outcome(o), fds(env) {}
+};
+
+// A client-provided hypercall handler: returns the value placed in r0, or an
+// error status that terminates the virtine.
+using HypercallHandler = std::function<vbase::Result<int64_t>(HypercallFrame&)>;
+
+// Everything needed to run one virtine.
+struct VirtineSpec {
+  // The guest binary.  Must outlive the invocation.
+  const visa::Image* image = nullptr;
+  // Identity for snapshot caching; virtines sharing a key share snapshots.
+  std::string key;
+  uint64_t mem_size = 1ULL << 20;
+  // Word size (bytes) of the environment's final execution mode; governs the
+  // argument-page slot layout (8 for long64, 4 for prot32, 2 for real16).
+  int word_bytes = 8;
+  // Hypercall policy bits (default-deny; kHcExit is always permitted).
+  HypercallMask policy = kPolicyDenyAll;
+  // Use the snapshotting fast path (take on first run, restore afterwards).
+  bool use_snapshot = false;
+  // Whether the CRT issues the snapshot hypercall right after boot (the
+  // language-extension default).  Guests that pick their own snapshot point
+  // — e.g. the microjs engine snapshots after engine init, Section 6.5 —
+  // set this false and call the hypercall themselves.
+  bool crt_snapshot = true;
+  // Pre-marshalled argument page, written at guest physical 0 (see abi.h).
+  std::vector<uint8_t> args_page;
+  // Input payload served by the get_data hypercall.
+  const std::vector<uint8_t>* input = nullptr;
+  // Guest-side channel endpoint for send/recv (not owned).
+  ByteChannel::Endpoint* channel = nullptr;
+  // Host filesystem sandbox override (defaults to the runtime's).
+  HostEnv* env = nullptr;
+  // Client-defined hypercall handlers, keyed by port; these take precedence
+  // over canned handlers but are still subject to the policy mask.
+  std::map<uint16_t, HypercallHandler> handlers;
+  // Watchdog: maximum guest instructions per invocation.
+  uint64_t max_insns = 2'000'000'000;
+};
+
+struct RuntimeOptions {
+  CleanMode clean_mode = CleanMode::kSync;
+  vkvm::VmConfig vm_defaults;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeOptions options = {});
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // Runs one virtine to completion (synchronous, like a function call).
+  RunOutcome Invoke(const VirtineSpec& spec);
+
+  Pool& pool() { return pool_; }
+  SnapshotStore& snapshots() { return snapshots_; }
+  HostEnv& env() { return env_; }
+  const RuntimeOptions& options() const { return options_; }
+
+  // Builds a VmConfig for `mem_size` from the runtime defaults.
+  vkvm::VmConfig MakeVmConfig(uint64_t mem_size) const;
+
+ private:
+  // Restores `snap` into a clean shell; charges modeled memcpy cost.
+  void RestoreSnapshot(vkvm::Vm& vm, const Snapshot& snap);
+  // Captures a snapshot of the VM's current state (dirty pages + CPU).
+  SnapshotRef TakeSnapshot(vkvm::Vm& vm);
+  // Dispatches one hypercall; returns the r0 result or an error.
+  vbase::Result<int64_t> Dispatch(uint16_t port, HypercallFrame& frame);
+
+  RuntimeOptions options_;
+  Pool pool_;
+  SnapshotStore snapshots_;
+  HostEnv env_;
+};
+
+}  // namespace wasp
+
+#endif  // SRC_WASP_RUNTIME_H_

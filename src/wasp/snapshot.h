@@ -1,0 +1,74 @@
+// Snapshots: the paper's key start-up optimization (Section 5.2).
+//
+// A snapshot captures a virtine's architectural CPU state plus the set of
+// guest-physical pages it has dirtied since the VM was fresh (everything it
+// has ever written, including its loaded image).  Restoring into a *clean*
+// shell replays those pages with memcpy — the "simple snapshotting strategy"
+// the paper measures at memcpy bandwidth in Figure 12 — and resumes the vCPU
+// right after the snapshot hypercall, skipping boot and runtime init.
+//
+// Snapshots are immutable once taken and shared via shared_ptr: restores
+// never mutate them, so one virtine's post-snapshot writes cannot leak into
+// the next restore (isolation objective, Section 3.3).
+#ifndef SRC_WASP_SNAPSHOT_H_
+#define SRC_WASP_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/vhw/cpu.h"
+
+namespace wasp {
+
+struct Snapshot {
+  struct Page {
+    uint64_t index;                 // guest-physical page number
+    std::vector<uint8_t> bytes;     // kPageSize bytes
+  };
+  vhw::ArchState cpu;
+  uint64_t mem_size = 0;
+  std::vector<Page> pages;
+
+  uint64_t byte_size() const { return pages.size() * vhw::kPageSize; }
+};
+
+using SnapshotRef = std::shared_ptr<const Snapshot>;
+
+// Keyed snapshot cache: one snapshot per virtine image key ("the first
+// execution of a virtine must still go through the initialization process
+// ... subsequent executions of the same virtine begin at the snapshot").
+class SnapshotStore {
+ public:
+  SnapshotRef Find(const std::string& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = snaps_.find(key);
+    return it == snaps_.end() ? nullptr : it->second;
+  }
+
+  void Put(const std::string& key, SnapshotRef snap) {
+    std::lock_guard<std::mutex> lock(mu_);
+    snaps_[key] = std::move(snap);
+  }
+
+  void Erase(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    snaps_.erase(key);
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return snaps_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, SnapshotRef> snaps_;
+};
+
+}  // namespace wasp
+
+#endif  // SRC_WASP_SNAPSHOT_H_

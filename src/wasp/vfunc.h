@@ -1,0 +1,140 @@
+// Typed virtine invocation: the host-side half of the paper's C language
+// extensions.
+//
+// `ArgPacker` lays out the argument page (see abi.h): a return-value slot,
+// an argc slot, one word per scalar argument, and a buffer area for
+// pass-by-copy byte ranges (a guest-pointer word refers into the buffer
+// area).  `VirtineFunc<R(Args...)>` packages marshalling + Invoke() + result
+// unmarshalling so a virtine call looks like a function call, exactly the
+// calling convention the clang/LLVM pass generates in the paper
+// ("copy-restore" semantics, Section 7.2).
+#ifndef SRC_WASP_VFUNC_H_
+#define SRC_WASP_VFUNC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "src/base/log.h"
+#include "src/wasp/runtime.h"
+
+namespace wasp {
+
+// A pass-by-copy byte buffer argument (marshalled into the argument page;
+// the guest receives a pointer word).
+struct BufferArg {
+  const void* data = nullptr;
+  uint64_t len = 0;
+};
+
+// Packs argument words / buffers into an argument page image.
+class ArgPacker {
+ public:
+  explicit ArgPacker(int word_bytes) : word_(word_bytes) {
+    VB_CHECK(word_ == 2 || word_ == 4 || word_ == 8, "bad word size " << word_);
+    // Reserve the return slot (word 0) and argc (word 1).
+    page_.assign(static_cast<size_t>(word_) * 2, 0);
+    buf_cursor_ = kArgBufOffset;
+  }
+
+  void AddWord(uint64_t value) {
+    const size_t at = page_.size();
+    page_.resize(at + static_cast<size_t>(word_));
+    std::memcpy(page_.data() + at, &value, static_cast<size_t>(word_));
+    ++argc_;
+  }
+
+  // Copies `buffer` into the buffer area and adds its guest address as a
+  // word argument.
+  void AddBuffer(BufferArg buffer) {
+    VB_CHECK(buf_cursor_ + buffer.len <= kArgPageSize,
+             "argument buffers exceed the argument page");
+    AddWord(buf_cursor_);
+    pending_buffers_.emplace_back(buf_cursor_, buffer);
+    buf_cursor_ += (buffer.len + 7) & ~7ULL;
+  }
+
+  // Finalizes and returns the argument-page bytes.
+  std::vector<uint8_t> Finish() {
+    std::vector<uint8_t> out = page_;
+    uint64_t argc = argc_;
+    std::memcpy(out.data() + word_, &argc, static_cast<size_t>(word_));
+    if (!pending_buffers_.empty()) {
+      out.resize(kArgPageSize, 0);
+      for (const auto& [at, buffer] : pending_buffers_) {
+        std::memcpy(out.data() + at, buffer.data, buffer.len);
+      }
+    }
+    return out;
+  }
+
+ private:
+  int word_;
+  uint64_t argc_ = 0;
+  uint64_t buf_cursor_;
+  std::vector<uint8_t> page_;
+  std::vector<std::pair<uint64_t, BufferArg>> pending_buffers_;
+};
+
+// Typed virtine function wrapper.
+template <typename Sig>
+class VirtineFunc;
+
+template <typename R, typename... Args>
+class VirtineFunc<R(Args...)> {
+  static_assert(std::is_integral_v<R>, "virtine return type must be integral");
+
+ public:
+  // `spec.image`, `spec.key`, `spec.word_bytes`, policy etc. come from the
+  // caller; argument marshalling fills `spec.args_page` per call.
+  VirtineFunc(Runtime* runtime, VirtineSpec spec)
+      : runtime_(runtime), spec_(std::move(spec)) {}
+
+  // Invokes the virtine synchronously.  Returns the unmarshalled result or
+  // the failure status (fault, policy denial, watchdog).
+  vbase::Result<R> Call(Args... args) {
+    ArgPacker packer(spec_.word_bytes);
+    (PackOne(packer, args), ...);
+    spec_.args_page = packer.Finish();
+    last_ = runtime_->Invoke(spec_);
+    if (!last_.status.ok()) {
+      return last_.status;
+    }
+    return Unmarshal(last_.result_word);
+  }
+
+  // Full outcome (stats, console output, ...) of the most recent Call().
+  const RunOutcome& last_outcome() const { return last_; }
+  VirtineSpec& spec() { return spec_; }
+
+ private:
+  template <typename T>
+  static void PackOne(ArgPacker& packer, const T& arg) {
+    if constexpr (std::is_integral_v<T>) {
+      packer.AddWord(static_cast<uint64_t>(static_cast<int64_t>(arg)));
+    } else {
+      static_assert(std::is_same_v<T, BufferArg>, "unsupported argument type");
+      packer.AddBuffer(arg);
+    }
+  }
+
+  R Unmarshal(uint64_t word) const {
+    // Sign-extend from the environment word width.
+    const int bits = spec_.word_bytes * 8;
+    if (bits < 64 && std::is_signed_v<R>) {
+      const int64_t v = static_cast<int64_t>(word << (64 - bits)) >> (64 - bits);
+      return static_cast<R>(v);
+    }
+    return static_cast<R>(word);
+  }
+
+  Runtime* runtime_;
+  VirtineSpec spec_;
+  RunOutcome last_;
+};
+
+}  // namespace wasp
+
+#endif  // SRC_WASP_VFUNC_H_

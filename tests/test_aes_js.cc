@@ -1,0 +1,228 @@
+// Case-study substrate tests: AES-128 against FIPS-197 / NIST vectors (host
+// and in-virtine), and the microjs engine (compiler + in-virtine execution)
+// against the host base64 reference, including property-style sweeps.
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/vaes/aes.h"
+#include "src/vcc/vcc.h"
+#include "src/vjs/vjs.h"
+#include "src/vrt/vlibc.h"
+#include "src/wasp/runtime.h"
+
+namespace {
+
+// FIPS-197 Appendix B key/plaintext.
+const vaes::Key kFipsKey = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                            0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+
+TEST(AesHost, Fips197AppendixBVector) {
+  const vaes::Block plaintext = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                                 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+  const vaes::Block expected = {0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb,
+                                0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32};
+  EXPECT_EQ(vaes::EncryptBlock(vaes::ExpandKey(kFipsKey), plaintext), expected);
+}
+
+TEST(AesHost, NistSp800_38aCbcVectors) {
+  // NIST SP 800-38A F.2.1 CBC-AES128.Encrypt, first two blocks.
+  const vaes::Key key = kFipsKey;
+  const vaes::Block iv = {0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                          0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f};
+  const std::vector<uint8_t> plaintext = {
+      0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e,
+      0x11, 0x73, 0x93, 0x17, 0x2a, 0xae, 0x2d, 0x8a, 0x57, 0x1e, 0x03,
+      0xac, 0x9c, 0x9e, 0xb7, 0x6f, 0xac, 0x45, 0xaf, 0x8e, 0x51};
+  const std::vector<uint8_t> expected = {
+      0x76, 0x49, 0xab, 0xac, 0x81, 0x19, 0xb2, 0x46, 0xce, 0xe9, 0x8e,
+      0x9b, 0x12, 0xe9, 0x19, 0x7d, 0x50, 0x86, 0xcb, 0x9b, 0x50, 0x72,
+      0x19, 0xee, 0x95, 0xdb, 0x11, 0x3a, 0x91, 0x76, 0x78, 0xb2};
+  EXPECT_EQ(vaes::EncryptCbc(key, iv, plaintext), expected);
+}
+
+TEST(AesHost, Pkcs7PadIsAlwaysBlockMultiple) {
+  for (size_t n = 0; n < 40; ++n) {
+    const auto padded = vaes::Pkcs7Pad(std::vector<uint8_t>(n, 0x7));
+    EXPECT_EQ(padded.size() % 16, 0u);
+    EXPECT_GT(padded.size(), n);
+    EXPECT_EQ(padded.back(), padded.size() - n);
+  }
+}
+
+class AesVirtineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto image = vcc::CompileProgram(vrt::VlibcSource() + vaes::GuestAesSource(), "main",
+                                     vrt::Env::kLong64);
+    ASSERT_TRUE(image.ok()) << image.status().ToString();
+    image_ = new visa::Image(std::move(*image));
+    runtime_ = new wasp::Runtime();
+  }
+  static void TearDownTestSuite() {
+    delete runtime_;
+    runtime_ = nullptr;
+    delete image_;
+    image_ = nullptr;
+  }
+
+  static std::vector<uint8_t> EncryptInVirtine(const vaes::Key& key, const vaes::Block& iv,
+                                               const std::vector<uint8_t>& plaintext) {
+    std::vector<uint8_t> input;
+    input.insert(input.end(), key.begin(), key.end());
+    input.insert(input.end(), iv.begin(), iv.end());
+    input.insert(input.end(), plaintext.begin(), plaintext.end());
+    wasp::VirtineSpec spec;
+    spec.image = image_;
+    spec.key = "aes-test";
+    spec.policy = wasp::kPolicyManaged;
+    spec.use_snapshot = true;
+    spec.input = &input;
+    auto outcome = runtime_->Invoke(spec);
+    EXPECT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+    return outcome.output;
+  }
+
+  static visa::Image* image_;
+  static wasp::Runtime* runtime_;
+};
+
+visa::Image* AesVirtineTest::image_ = nullptr;
+wasp::Runtime* AesVirtineTest::runtime_ = nullptr;
+
+TEST_F(AesVirtineTest, MatchesNistCbcVector) {
+  const vaes::Block iv = {0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                          0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f};
+  const std::vector<uint8_t> plaintext = {
+      0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e,
+      0x11, 0x73, 0x93, 0x17, 0x2a, 0xae, 0x2d, 0x8a, 0x57, 0x1e, 0x03,
+      0xac, 0x9c, 0x9e, 0xb7, 0x6f, 0xac, 0x45, 0xaf, 0x8e, 0x51};
+  EXPECT_EQ(EncryptInVirtine(kFipsKey, iv, plaintext),
+            vaes::EncryptCbc(kFipsKey, iv, plaintext));
+}
+
+TEST_F(AesVirtineTest, RandomizedEquivalenceWithHost) {
+  vbase::Rng rng(123);
+  for (int trial = 0; trial < 5; ++trial) {
+    vaes::Key key;
+    vaes::Block iv;
+    for (auto& b : key) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    for (auto& b : iv) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    std::vector<uint8_t> plaintext(16 * (1 + rng.Below(8)));
+    for (auto& b : plaintext) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    EXPECT_EQ(EncryptInVirtine(key, iv, plaintext), vaes::EncryptCbc(key, iv, plaintext))
+        << "trial " << trial;
+  }
+}
+
+// --- microjs --------------------------------------------------------------------
+
+TEST(MicroJs, CompileErrorsAreDiagnosed) {
+  EXPECT_FALSE(vjs::CompileScript("var ;").ok());
+  EXPECT_FALSE(vjs::CompileScript("x = 1;").ok());            // undefined var
+  EXPECT_FALSE(vjs::CompileScript("var x = foo(1);").ok());   // unknown builtin
+  EXPECT_FALSE(vjs::CompileScript("var x = input();").ok());  // arity
+  EXPECT_FALSE(vjs::CompileScript("while (1) { ").ok());
+  EXPECT_TRUE(vjs::CompileScript("var x = 1 + 2 * 3;").ok());
+}
+
+TEST(MicroJs, HostBase64MatchesKnownVectors) {
+  EXPECT_EQ(vjs::HostBase64({}), "");
+  EXPECT_EQ(vjs::HostBase64({'f'}), "Zg==");
+  EXPECT_EQ(vjs::HostBase64({'f', 'o'}), "Zm8=");
+  EXPECT_EQ(vjs::HostBase64({'f', 'o', 'o'}), "Zm9v");
+  EXPECT_EQ(vjs::HostBase64({'f', 'o', 'o', 'b', 'a', 'r'}), "Zm9vYmFy");
+}
+
+class JsEngineTest : public ::testing::Test {
+ protected:
+  static std::string RunBase64(const std::vector<uint8_t>& payload) {
+    static visa::Image* image = [] {
+      auto bytecode = vjs::CompileScript(vjs::Base64ScriptSource());
+      EXPECT_TRUE(bytecode.ok());
+      auto img = vcc::CompileProgram(
+          vrt::VlibcSource() + vjs::EngineSource(*bytecode, /*teardown=*/true), "main",
+          vrt::Env::kLong64);
+      EXPECT_TRUE(img.ok()) << img.status().ToString();
+      return new visa::Image(std::move(*img));
+    }();
+    static wasp::Runtime* runtime = new wasp::Runtime();
+    wasp::VirtineSpec spec;
+    spec.image = image;
+    spec.key = "js-engine-test";
+    spec.mem_size = 2ULL << 20;
+    spec.policy = wasp::kPolicyManaged;
+    spec.use_snapshot = true;
+    spec.crt_snapshot = false;
+    spec.input = &payload;
+    auto outcome = runtime->Invoke(spec);
+    EXPECT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+    return std::string(outcome.output.begin(), outcome.output.end());
+  }
+};
+
+TEST_F(JsEngineTest, Base64PaddingCases) {
+  EXPECT_EQ(RunBase64({'f'}), "Zg==");
+  EXPECT_EQ(RunBase64({'f', 'o'}), "Zm8=");
+  EXPECT_EQ(RunBase64({'f', 'o', 'o'}), "Zm9v");
+}
+
+TEST_F(JsEngineTest, RandomPayloadsMatchHostReference) {
+  vbase::Rng rng(77);
+  for (int trial = 0; trial < 6; ++trial) {
+    std::vector<uint8_t> payload(1 + rng.Below(120));
+    for (auto& b : payload) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    EXPECT_EQ(RunBase64(payload), vjs::HostBase64(payload)) << "trial " << trial;
+  }
+}
+
+TEST(MicroJs, ArithmeticScriptSemantics) {
+  // A script exercising every operator; emits one byte via out().
+  const char* script = R"js(
+var a = 10;
+var b = 3;
+var r = 0;
+if (a / b == 3) { r = r + 1; }
+if (a % b == 1) { r = r + 1; }
+if ((a << 2) == 40) { r = r + 1; }
+if ((a >> 1) == 5) { r = r + 1; }
+if ((a & b) == 2) { r = r + 1; }
+if ((a | b) == 11) { r = r + 1; }
+if ((a ^ b) == 9) { r = r + 1; }
+if (a > b) { r = r + 1; }
+if (b < a) { r = r + 1; }
+if (a >= 10) { r = r + 1; }
+if (b <= 3) { r = r + 1; }
+if (a != b) { r = r + 1; }
+if (!(a == b)) { r = r + 1; }
+if (-b == 0 - 3) { r = r + 1; }
+out(r + 48);
+)js";
+  auto bytecode = vjs::CompileScript(script);
+  ASSERT_TRUE(bytecode.ok()) << bytecode.status().ToString();
+  auto image = vcc::CompileProgram(
+      vrt::VlibcSource() + vjs::EngineSource(*bytecode, /*teardown=*/false), "main",
+      vrt::Env::kLong64);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  wasp::Runtime runtime;
+  wasp::VirtineSpec spec;
+  spec.image = &image.value();
+  spec.mem_size = 2ULL << 20;
+  spec.policy = wasp::kPolicyManaged;
+  std::vector<uint8_t> empty;
+  spec.input = &empty;
+  auto outcome = runtime.Invoke(spec);
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  ASSERT_EQ(outcome.output.size(), 1u);
+  // 14 checks passed -> '0' + 14 = '>'.
+  EXPECT_EQ(outcome.output[0], static_cast<uint8_t>('0' + 14));
+}
+
+}  // namespace

@@ -1,0 +1,231 @@
+// vnet tests: HTTP parser (including property-style malformed-input sweeps),
+// the static server in all three modes, the echo guest, the serverless
+// platform, and the bursty-load simulator.
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/vjs/vjs.h"
+#include "src/vnet/http.h"
+#include "src/vnet/loadgen.h"
+#include "src/vnet/server.h"
+#include "src/vcc/vcc.h"
+#include "src/vnet/serverless.h"
+#include "src/vrt/vlibc.h"
+#include "src/wasp/runtime.h"
+
+namespace {
+
+TEST(Http, ParsesRequestLineAndHeaders) {
+  auto req = vnet::ParseRequest(
+      "GET /index.html HTTP/1.1\r\nHost: tinker\r\nX-Thing:  padded \r\n\r\n");
+  ASSERT_TRUE(req.ok()) << req.status().ToString();
+  EXPECT_EQ(req->method, "GET");
+  EXPECT_EQ(req->target, "/index.html");
+  EXPECT_EQ(req->version, "HTTP/1.1");
+  EXPECT_EQ(req->Header("host"), "tinker");
+  EXPECT_EQ(req->Header("X-THING"), "padded");
+  EXPECT_EQ(req->Header("absent"), "");
+}
+
+TEST(Http, ParsesBodyWithContentLength) {
+  auto req = vnet::ParseRequest(
+      "POST /fn HTTP/1.0\r\nContent-Length: 5\r\n\r\nhello-extra-ignored");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->body, "hello");
+}
+
+TEST(Http, IncompleteRequestsAskForMore) {
+  auto r1 = vnet::ParseRequest("GET / HTTP/1.0\r\nHost: x\r\n");
+  EXPECT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), vbase::Code::kFailedPrecondition);
+  auto r2 = vnet::ParseRequest("POST / HTTP/1.0\r\nContent-Length: 10\r\n\r\nabc");
+  EXPECT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), vbase::Code::kFailedPrecondition);
+}
+
+TEST(Http, MalformedRequestsAreRejected) {
+  for (const char* bad : {
+           "GARBAGE\r\n\r\n",
+           "GET /\r\n\r\n",                       // missing version
+           "GET / FTP/1.0\r\n\r\n",               // bad version
+           "GET / HTTP/1.0\r\nNoColonHere\r\n\r\n",
+           "POST / HTTP/1.0\r\nContent-Length: 1x\r\n\r\nz",
+       }) {
+    auto r = vnet::ParseRequest(bad);
+    EXPECT_FALSE(r.ok()) << "accepted malformed request: " << bad;
+    EXPECT_EQ(r.status().code(), vbase::Code::kInvalidArgument) << bad;
+  }
+}
+
+TEST(Http, FuzzedInputNeverCrashesParser) {
+  vbase::Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    std::string junk;
+    const int len = static_cast<int>(rng.Below(200));
+    for (int j = 0; j < len; ++j) {
+      junk += static_cast<char>(rng.Below(256));
+    }
+    (void)vnet::ParseRequest(junk);  // must not crash or hang
+  }
+  SUCCEED();
+}
+
+TEST(Http, BuildResponseRoundTrips) {
+  const std::string resp = vnet::BuildResponse(200, "body", {{"X-A", "1"}});
+  EXPECT_NE(resp.find("HTTP/1.0 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(resp.find("Content-Length: 4\r\n"), std::string::npos);
+  EXPECT_NE(resp.find("X-A: 1\r\n"), std::string::npos);
+  EXPECT_EQ(resp.substr(resp.size() - 4), "body");
+  EXPECT_EQ(std::string(vnet::ReasonPhrase(404)), "Not Found");
+}
+
+// --- Static server in all modes -----------------------------------------------
+
+class ServerModeTest : public ::testing::TestWithParam<vnet::ServeMode> {};
+
+TEST_P(ServerModeTest, ServesFileAnd404) {
+  wasp::Runtime runtime;
+  wasp::HostEnv files;
+  files.PutFile("/f.txt", std::string(100, 'z'));
+  vnet::StaticHttpServer server(&runtime, &files);
+
+  {
+    wasp::ByteChannel channel;
+    channel.host().WriteString("GET /f.txt HTTP/1.0\r\n\r\n");
+    auto stats = server.HandleConnection(channel, GetParam());
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->status, 200);
+    auto resp = channel.host().Drain();
+    const std::string text(resp.begin(), resp.end());
+    EXPECT_NE(text.find("200 OK"), std::string::npos);
+    EXPECT_NE(text.find("Content-Length: 100"), std::string::npos);
+    EXPECT_NE(text.find(std::string(100, 'z')), std::string::npos);
+  }
+  {
+    wasp::ByteChannel channel;
+    channel.host().WriteString("GET /nope HTTP/1.0\r\n\r\n");
+    auto stats = server.HandleConnection(channel, GetParam());
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->status, 404);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ServerModeTest,
+                         ::testing::Values(vnet::ServeMode::kNative,
+                                           vnet::ServeMode::kVirtine,
+                                           vnet::ServeMode::kVirtineSnapshot),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case vnet::ServeMode::kNative: return "native";
+                             case vnet::ServeMode::kVirtine: return "virtine";
+                             default: return "virtine_snapshot";
+                           }
+                         });
+
+TEST(Server, VirtineHandlerUsesExactlySevenHypercalls) {
+  wasp::Runtime runtime;
+  wasp::HostEnv files;
+  files.PutFile("/x", std::string("content"));
+  vnet::StaticHttpServer server(&runtime, &files);
+  wasp::ByteChannel channel;
+  channel.host().WriteString("GET /x HTTP/1.0\r\n\r\n");
+  auto stats = server.HandleConnection(channel, vnet::ServeMode::kVirtine);
+  ASSERT_TRUE(stats.ok());
+  // Section 6.3: recv, stat, open, read, send, close, exit.
+  EXPECT_EQ(stats->io_exits, 7u);
+}
+
+TEST(Loadgen, ClosedLoopCollectsAllLatencies) {
+  std::atomic<int> calls{0};
+  auto result = vnet::RunClosedLoop(4, 25, [&]() -> double {
+    calls.fetch_add(1);
+    return 10.0;
+  });
+  EXPECT_EQ(calls.load(), 100);
+  EXPECT_EQ(result.latencies_us.size(), 100u);
+  EXPECT_EQ(result.failures, 0u);
+  EXPECT_NEAR(result.harmonic_mean_rps, 1e5, 1.0);
+}
+
+TEST(Loadgen, FailuresAreCounted) {
+  auto result = vnet::RunClosedLoop(2, 10, []() -> double { return -1.0; });
+  EXPECT_EQ(result.failures, 20u);
+  EXPECT_TRUE(result.latencies_us.empty());
+}
+
+// --- Serverless (Vespid + simulator) --------------------------------------------
+
+TEST(Vespid, RegistersAndInvokesBase64) {
+  wasp::Runtime runtime;
+  vnet::Vespid platform(&runtime);
+  ASSERT_TRUE(platform.Register("b64", vjs::Base64ScriptSource()).ok());
+  const std::vector<uint8_t> payload = {'a', 'b', 'c', 'd'};
+  auto first = platform.Invoke("b64", payload);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_TRUE(first->cold);
+  EXPECT_EQ(std::string(first->output.begin(), first->output.end()),
+            vjs::HostBase64(payload));
+  auto second = platform.Invoke("b64", payload);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->cold);
+  EXPECT_LT(second->modeled_cycles, first->modeled_cycles);
+}
+
+TEST(Vespid, UnknownFunctionIsAnError) {
+  wasp::Runtime runtime;
+  vnet::Vespid platform(&runtime);
+  EXPECT_FALSE(platform.Invoke("missing", {}).ok());
+}
+
+TEST(Vespid, BadScriptFailsRegistration) {
+  wasp::Runtime runtime;
+  vnet::Vespid platform(&runtime);
+  EXPECT_FALSE(platform.Register("bad", "var = while").ok());
+}
+
+TEST(BurstSim, ColdStartsSpikeOnBurstsForSlowColdExecutors) {
+  const std::vector<vnet::LoadPhase> pattern = {{5, 2}, {100, 2}, {5, 2}};
+  vnet::ExecutorModel slow{"containers", 20000.0, 400000.0, 16, 1.0};
+  vnet::ExecutorModel fast{"virtines", 2000.0, 200.0, 64, 600.0};
+  const auto slow_result = vnet::SimulateBurstyLoad(pattern, slow);
+  const auto fast_result = vnet::SimulateBurstyLoad(pattern, fast);
+  EXPECT_EQ(slow_result.total_requests, fast_result.total_requests);
+  EXPECT_GT(slow_result.total_cold_starts, 1u);
+  EXPECT_GT(slow_result.latency_us.p99, 10.0 * fast_result.latency_us.p99);
+}
+
+TEST(BurstSim, DeterministicForSeed) {
+  const std::vector<vnet::LoadPhase> pattern = {{10, 1}, {50, 1}};
+  vnet::ExecutorModel model{"m", 1000.0, 10000.0, 8, 2.0};
+  const auto a = vnet::SimulateBurstyLoad(pattern, model, 5);
+  const auto b = vnet::SimulateBurstyLoad(pattern, model, 5);
+  EXPECT_EQ(a.latency_us.mean, b.latency_us.mean);
+  EXPECT_EQ(a.total_cold_starts, b.total_cold_starts);
+}
+
+// --- Echo guest (Figure 4 workload) -----------------------------------------------
+
+TEST(Echo, GuestEchoesAndReportsMilestones) {
+  auto image = vcc::CompileProgram(vrt::VlibcSource() + vnet::EchoHandlerSource(), "main",
+                                   vrt::Env::kProt32);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  wasp::Runtime runtime;
+  wasp::ByteChannel channel;
+  channel.host().WriteString("ping!");
+  wasp::VirtineSpec spec;
+  spec.image = &image.value();
+  spec.word_bytes = 4;
+  spec.policy = wasp::kPolicyStream | wasp::MaskOf(wasp::kHcReturnData);
+  spec.channel = &channel.guest();
+  auto outcome = runtime.Invoke(spec);
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  auto echoed = channel.host().Drain();
+  EXPECT_EQ(std::string(echoed.begin(), echoed.end()), "ping!");
+  ASSERT_EQ(outcome.output.size(), 12u);
+  uint32_t mb[3];
+  memcpy(mb, outcome.output.data(), sizeof(mb));
+  EXPECT_LT(mb[0], mb[1]);  // entry < after-recv
+  EXPECT_LT(mb[1], mb[2]);  // after-recv < after-send
+}
+
+}  // namespace

@@ -1,0 +1,333 @@
+// Compiler tests: language semantics (via end-to-end execution in a
+// virtine), the virtine annotation pipeline, call-graph cutting, and
+// policy derivation.
+#include <gtest/gtest.h>
+
+#include "src/vcc/vcc.h"
+#include "src/vrt/env.h"
+#include "src/vrt/vlibc.h"
+#include "src/wasp/runtime.h"
+#include "src/wasp/vfunc.h"
+
+namespace {
+
+// Compiles `source` (entry `main`) and runs main(args...) in a long64
+// virtine, returning the result word.
+int64_t RunProgram(const std::string& source, std::vector<int64_t> args = {},
+                   std::string* console = nullptr, wasp::HypercallMask policy = 0) {
+  auto image = vcc::CompileProgram(source, "main", vrt::Env::kLong64);
+  if (!image.ok()) {
+    ADD_FAILURE() << "compile failed: " << image.status().ToString();
+    return INT64_MIN;
+  }
+  wasp::Runtime runtime;
+  wasp::VirtineSpec spec;
+  spec.image = &image.value();
+  spec.policy = policy;
+  wasp::ArgPacker packer(8);
+  for (int64_t a : args) {
+    packer.AddWord(static_cast<uint64_t>(a));
+  }
+  spec.args_page = packer.Finish();
+  auto outcome = runtime.Invoke(spec);
+  if (!outcome.status.ok()) {
+    ADD_FAILURE() << "run failed: " << outcome.status.ToString();
+    return INT64_MIN;
+  }
+  if (console != nullptr) {
+    *console = outcome.console;
+  }
+  return static_cast<int64_t>(outcome.result_word);
+}
+
+int64_t RunVlibcProgram(const std::string& source, std::vector<int64_t> args = {},
+                        std::string* console = nullptr,
+                        wasp::HypercallMask policy = wasp::MaskOf(wasp::kHcConsole)) {
+  return RunProgram(vrt::VlibcSource() + source, std::move(args), console, policy);
+}
+
+TEST(VccSemantics, ArithmeticAndPrecedence) {
+  EXPECT_EQ(RunProgram("int main() { return 2 + 3 * 4; }"), 14);
+  EXPECT_EQ(RunProgram("int main() { return (2 + 3) * 4; }"), 20);
+  EXPECT_EQ(RunProgram("int main() { return 7 / 2 + 7 % 2; }"), 4);
+  EXPECT_EQ(RunProgram("int main() { return -5 + 3; }"), -2);
+  EXPECT_EQ(RunProgram("int main() { return 1 << 10; }"), 1024);
+  EXPECT_EQ(RunProgram("int main() { return -16 >> 2; }"), -4);
+  EXPECT_EQ(RunProgram("int main() { return (0xff & 0x0f) | 0x30; }"), 0x3f);
+  EXPECT_EQ(RunProgram("int main() { return ~0 + 2; }"), 1);
+}
+
+TEST(VccSemantics, ComparisonsAndLogic) {
+  EXPECT_EQ(RunProgram("int main() { return 3 < 5; }"), 1);
+  EXPECT_EQ(RunProgram("int main() { return -1 < 1; }"), 1);
+  EXPECT_EQ(RunProgram("int main() { return 5 <= 5 && 6 > 2; }"), 1);
+  EXPECT_EQ(RunProgram("int main() { return 0 && 1 || 1; }"), 1);
+  EXPECT_EQ(RunProgram("int main() { return !42; }"), 0);
+  EXPECT_EQ(RunProgram("int main() { return 1 ? 10 : 20; }"), 10);
+  EXPECT_EQ(RunProgram("int main() { return 0 ? 10 : 20; }"), 20);
+}
+
+TEST(VccSemantics, ShortCircuitSideEffects) {
+  const char* src = R"(
+    int g = 0;
+    int bump() { g = g + 1; return 1; }
+    int main() {
+      0 && bump();
+      1 || bump();
+      return g;
+    })";
+  EXPECT_EQ(RunProgram(src), 0);
+}
+
+TEST(VccSemantics, ControlFlow) {
+  const char* loop = R"(
+    int main(int n) {
+      int sum;
+      int i;
+      sum = 0;
+      for (i = 1; i <= n; i = i + 1) {
+        if (i % 2 == 0) {
+          continue;
+        }
+        sum = sum + i;
+      }
+      return sum;
+    })";
+  EXPECT_EQ(RunProgram(loop, {10}), 25);  // 1+3+5+7+9
+
+  const char* brk = R"(
+    int main() {
+      int i;
+      i = 0;
+      while (1) {
+        i = i + 1;
+        if (i == 7) {
+          break;
+        }
+      }
+      return i;
+    })";
+  EXPECT_EQ(RunProgram(brk), 7);
+}
+
+TEST(VccSemantics, RecursionFib) {
+  const char* src = R"(
+    int fib(int n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    int main(int n) { return fib(n); })";
+  EXPECT_EQ(RunProgram(src, {20}), 6765);
+}
+
+TEST(VccSemantics, PointersAndArrays) {
+  const char* src = R"(
+    int main() {
+      int a[8];
+      int *p;
+      int i;
+      for (i = 0; i < 8; i = i + 1) {
+        a[i] = i * i;
+      }
+      p = a + 3;
+      return *p + p[1];  // 9 + 16
+    })";
+  EXPECT_EQ(RunProgram(src), 25);
+}
+
+TEST(VccSemantics, CharArraysAreByteAccurate) {
+  const char* src = R"(
+    int main() {
+      char b[4];
+      b[0] = 300;        // truncates to 44
+      b[1] = 1;
+      return b[0] + b[1];
+    })";
+  EXPECT_EQ(RunProgram(src), 45);
+}
+
+TEST(VccSemantics, PointerDifference) {
+  const char* src = R"(
+    int main() {
+      int a[10];
+      int *p;
+      int *q;
+      p = a + 2;
+      q = a + 9;
+      return q - p;
+    })";
+  EXPECT_EQ(RunProgram(src), 7);
+}
+
+TEST(VccSemantics, GlobalsWithInitializers) {
+  const char* src = R"(
+    int counter = 40;
+    int table[4] = {1, 2, 3, 4};
+    int main() {
+      counter = counter + table[2];
+      return counter;
+    })";
+  EXPECT_EQ(RunProgram(src), 43);
+}
+
+TEST(VccSemantics, CompoundAssignAndIncDec) {
+  const char* src = R"(
+    int main() {
+      int x;
+      int i;
+      x = 10;
+      x += 5;
+      x *= 2;
+      x -= 6;   // 24
+      x /= 3;   // 8
+      x <<= 2;  // 32
+      x >>= 1;  // 16
+      x |= 3;   // 19
+      x &= 0x17; // 19 & 23 = 19
+      x ^= 1;   // 18
+      i = 0;
+      x = x + i++;  // 18, i=1
+      x = x + ++i;  // 20, i=2
+      return x * 10 + i;
+    })";
+  EXPECT_EQ(RunProgram(src), 202);
+}
+
+TEST(VccSemantics, StringLiteralsAndConsole) {
+  std::string console;
+  const char* src = R"(
+    int main() {
+      puts("hello from a virtine\n");
+      print_int(-42);
+      return 0;
+    })";
+  EXPECT_EQ(RunVlibcProgram(src, {}, &console), 0);
+  EXPECT_EQ(console, "hello from a virtine\n-42");
+}
+
+TEST(VccSemantics, SizeofAndWordWidth) {
+  EXPECT_EQ(RunProgram("int main() { return sizeof(int); }"), 8);
+  EXPECT_EQ(RunProgram("int main() { return sizeof(char); }"), 1);
+  EXPECT_EQ(RunProgram("int main() { return sizeof(int*); }"), 8);
+}
+
+TEST(VccVlibc, StringRoutines) {
+  const char* src = R"(
+    int main() {
+      char buf[64];
+      char num[24];
+      strcpy(buf, "abc");
+      strcat(buf, "def");
+      if (strcmp(buf, "abcdef") != 0) { return 1; }
+      if (strlen(buf) != 6) { return 2; }
+      if (atoi("-1234") != -1234) { return 3; }
+      itoa(num, 9081);
+      if (strcmp(num, "9081") != 0) { return 4; }
+      uitoa_hex(num, 48879);
+      if (strcmp(num, "beef") != 0) { return 5; }
+      memset(buf, 'x', 5);
+      buf[5] = 0;
+      if (strcmp(buf, "xxxxx") != 0) { return 6; }
+      return 42;
+    })";
+  EXPECT_EQ(RunVlibcProgram(src), 42);
+}
+
+TEST(VccVlibc, MallocBumpAllocator) {
+  const char* src = R"(
+    int main() {
+      char *a;
+      char *b;
+      a = malloc(100);
+      b = malloc(100);
+      if (b - a < 100) { return 1; }
+      memset(a, 7, 100);
+      memset(b, 9, 100);
+      if (a[99] != 7) { return 2; }
+      if (b[0] != 9) { return 3; }
+      return 0;
+    })";
+  EXPECT_EQ(RunVlibcProgram(src), 0);
+}
+
+// --- Virtine annotations -----------------------------------------------------
+
+TEST(VccVirtines, AnnotatedFunctionCompilesAndRuns) {
+  const char* src = R"(
+    virtine int fib(int n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    })";
+  auto virtines = vcc::CompileVirtines(src);
+  ASSERT_TRUE(virtines.ok()) << virtines.status().ToString();
+  ASSERT_EQ(virtines->size(), 1u);
+  EXPECT_EQ((*virtines)[0].name, "fib");
+  EXPECT_EQ((*virtines)[0].policy, wasp::kPolicyDenyAll);
+  EXPECT_EQ((*virtines)[0].num_args, 1);
+
+  wasp::Runtime runtime;
+  wasp::VirtineSpec spec;
+  spec.image = &(*virtines)[0].image;
+  spec.key = "fib-anno";
+  spec.policy = (*virtines)[0].policy;
+  wasp::VirtineFunc<int64_t(int64_t)> fib(&runtime, spec);
+  auto r = fib.Call(15);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, 610);
+}
+
+TEST(VccVirtines, PolicyKeywords) {
+  const char* src = R"(
+    virtine int a() { return 1; }
+    virtine_permissive int b() { return 2; }
+    virtine_config(0x30006) int c() { return 3; }
+    int helper() { return 4; }
+  )";
+  auto virtines = vcc::CompileVirtines(src);
+  ASSERT_TRUE(virtines.ok()) << virtines.status().ToString();
+  ASSERT_EQ(virtines->size(), 3u);
+  EXPECT_EQ((*virtines)[0].policy, wasp::kPolicyDenyAll);
+  EXPECT_EQ((*virtines)[1].policy, wasp::kPolicyAllowAll);
+  EXPECT_EQ((*virtines)[2].policy, 0x30006u);
+}
+
+TEST(VccVirtines, CallGraphCutKeepsImagesSmall) {
+  // `big` is unreachable from `leaf`; its code must not be packaged.
+  std::string src = "virtine int leaf(int x) { return x + 1; }\n";
+  src += "int big() { return ";
+  for (int i = 0; i < 200; ++i) {
+    src += "1 + ";
+  }
+  src += "0; }\n";
+  src += "virtine int fat(int x) { return big() + x; }\n";
+  auto virtines = vcc::CompileVirtines(src);
+  ASSERT_TRUE(virtines.ok()) << virtines.status().ToString();
+  ASSERT_EQ(virtines->size(), 2u);
+  const auto& leaf = (*virtines)[0];
+  const auto& fat = (*virtines)[1];
+  EXPECT_LT(leaf.image.bytes.size() + 200, fat.image.bytes.size())
+      << "dead code was not eliminated from the leaf image";
+  // Virtine images stay in the ~16 KB ballpark the paper quotes.
+  EXPECT_LT(leaf.image.bytes.size(), 16u * 1024);
+}
+
+TEST(VccVirtines, GeneratedHeaderContainsSpecs) {
+  const char* src = "virtine int twice(int x) { return 2 * x; }";
+  auto virtines = vcc::CompileVirtines(src);
+  ASSERT_TRUE(virtines.ok());
+  const std::string header = vcc::EmitCppHeader(*virtines, "TEST_GUARD_H_");
+  EXPECT_NE(header.find("twice_image"), std::string::npos);
+  EXPECT_NE(header.find("twice_spec"), std::string::npos);
+  EXPECT_NE(header.find("TEST_GUARD_H_"), std::string::npos);
+}
+
+TEST(VccErrors, UsefulDiagnostics) {
+  EXPECT_FALSE(vcc::CompileProgram("int main() { return x; }").ok());
+  EXPECT_FALSE(vcc::CompileProgram("int main() { return f(); }").ok());
+  EXPECT_FALSE(vcc::CompileProgram("int main() { return 1 }").ok());
+  EXPECT_FALSE(vcc::CompileProgram("int main() { break; }").ok());
+  EXPECT_FALSE(vcc::CompileProgram("virtine int g = 3; int main() { return 0; }").ok());
+  EXPECT_FALSE(vcc::CompileVirtines("int main() { return 0; }").ok());  // no annotations
+}
+
+}  // namespace
