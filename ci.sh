@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure + build + ctest in one command.
+#
+#   ./ci.sh             # normal mode (warnings allowed)
+#   STRICT=1 ./ci.sh    # -Werror: any warning fails the build
+#   BUILD_DIR=out ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+BUILD_DIR="${BUILD_DIR:-build}"
+WERROR=OFF
+if [[ "${STRICT:-0}" == "1" ]]; then
+  WERROR=ON
+fi
+
+cmake -B "$BUILD_DIR" -S . -DVIRTINES_WERROR="$WERROR"
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+(cd "$BUILD_DIR" && ctest --output-on-failure -j"$(nproc)")

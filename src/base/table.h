@@ -3,6 +3,7 @@
 #ifndef SRC_BASE_TABLE_H_
 #define SRC_BASE_TABLE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

@@ -192,7 +192,7 @@ class Parser {
         return st;
       }
     }
-    return std::move(prog);
+    return prog;
   }
 
  private:

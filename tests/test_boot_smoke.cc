@@ -35,7 +35,7 @@ TEST_P(BootSmokeTest, FibRunsInEveryEnvironment) {
 INSTANTIATE_TEST_SUITE_P(AllEnvs, BootSmokeTest,
                          ::testing::Values(vrt::Env::kReal16, vrt::Env::kProt32,
                                            vrt::Env::kLong64),
-                         [](const auto& info) { return vrt::EnvName(info.param); });
+                         [](const auto& param_info) { return vrt::EnvName(param_info.param); });
 
 TEST(BootMilestones, Long64BootLogsEveryTable1Component) {
   auto image = vrt::BuildImage(vrt::Env::kLong64, vrt::FibSource());

@@ -83,7 +83,7 @@ INSTANTIATE_TEST_SUITE_P(
         AluCase{"mov r0, 0xfff0\n cmp r0, 3\n cset r0, b\n hlt\n", 0, "cset_b_unsigned"},
         AluCase{"mov r0, 2\n cmp r0, 3\n cset r0, a\n hlt\n", 0, "cset_a"},
         AluCase{"mov r0, 9\n cmp r0, 3\n cset r0, ae\n hlt\n", 1, "cset_ae"}),
-    [](const auto& info) { return info.param.name; });
+    [](const auto& param_info) { return param_info.param.name; });
 
 TEST(CpuAlu, DivisionByZeroFaults) {
   auto r = RunAsm("mov r0, 1\n mov r1, 0\n udiv r0, r1\n hlt\n");

@@ -114,8 +114,8 @@ INSTANTIATE_TEST_SUITE_P(Modes, ServerModeTest,
                          ::testing::Values(vnet::ServeMode::kNative,
                                            vnet::ServeMode::kVirtine,
                                            vnet::ServeMode::kVirtineSnapshot),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
                              case vnet::ServeMode::kNative: return "native";
                              case vnet::ServeMode::kVirtine: return "virtine";
                              default: return "virtine_snapshot";

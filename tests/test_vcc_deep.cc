@@ -246,7 +246,7 @@ TEST_P(CrossEnvTest, SameSourceRunsInEveryEnvironment) {
 INSTANTIATE_TEST_SUITE_P(Envs, CrossEnvTest,
                          ::testing::Values(vrt::Env::kReal16, vrt::Env::kProt32,
                                            vrt::Env::kLong64),
-                         [](const auto& info) { return vrt::EnvName(info.param); });
+                         [](const auto& param_info) { return vrt::EnvName(param_info.param); });
 
 TEST(VccDeep, RandomizedExpressionDifferentialTest) {
   // Generate random arithmetic expressions over safe operators, evaluate
