@@ -1,18 +1,35 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure + build + ctest in one command.
 #
-#   ./ci.sh             # normal mode (warnings allowed)
+#   ./ci.sh             # normal mode (warnings allowed) + fig9 throughput smoke
 #   STRICT=1 ./ci.sh    # -Werror: any warning fails the build
+#   TSAN=1 ./ci.sh      # ThreadSanitizer build; runs the threaded wasp/net tests
 #   BUILD_DIR=out ./ci.sh
 set -euo pipefail
 cd "$(dirname "$0")"
 
-BUILD_DIR="${BUILD_DIR:-build}"
 WERROR=OFF
 if [[ "${STRICT:-0}" == "1" ]]; then
   WERROR=ON
 fi
 
+if [[ "${TSAN:-0}" == "1" ]]; then
+  # ThreadSanitizer gate for the concurrent invocation engine (sharded pool,
+  # cleaner crew, executor).  Separate build dir: TSan objects don't mix.
+  BUILD_DIR="${BUILD_DIR:-build-tsan}"
+  cmake -B "$BUILD_DIR" -S . -DVIRTINES_WERROR="$WERROR" \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  cmake --build "$BUILD_DIR" -j"$(nproc)" \
+    --target test_wasp test_wasp_concurrency test_net
+  (cd "$BUILD_DIR" && ./test_wasp && ./test_wasp_concurrency && ./test_net)
+  exit 0
+fi
+
+BUILD_DIR="${BUILD_DIR:-build}"
 cmake -B "$BUILD_DIR" -S . -DVIRTINES_WERROR="$WERROR"
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j"$(nproc)")
+# Multicore throughput smoke: fails (non-zero) if pooled-async scaling ever
+# drops below the 4x-at-8-threads floor, so the concurrent path cannot rot.
+(cd "$BUILD_DIR" && ./fig9_multicore_scaling --quick)

@@ -51,7 +51,16 @@ class GuestMemory {
   template <typename T>
   void StoreRaw(uint64_t gpa, T v) {
     std::memcpy(bytes_.data() + gpa, &v, sizeof(T));
+    // Interpreter stores cluster heavily (stack, locals): skip the bitmap
+    // read-modify-write when this store hits the page the previous store
+    // already dirtied.  A straddling store always takes the slow path.
+    const uint64_t first = gpa >> kPageBits;
+    const uint64_t last = (gpa + sizeof(T) - 1) >> kPageBits;
+    if (first == last_dirty_page_ && last == first) {
+      return;
+    }
     MarkDirty(gpa, sizeof(T));
+    last_dirty_page_ = last;
   }
 
   // --- Dirty tracking ------------------------------------------------------
@@ -65,7 +74,8 @@ class GuestMemory {
   bool PageDirty(uint64_t page) const { return (dirty_[page >> 6] >> (page & 63)) & 1; }
   uint64_t NumPages() const { return bytes_.size() >> kPageBits; }
   uint64_t CountDirtyPages() const;
-  // Zeroes every dirty page and clears the dirty bitmap (pool Clean()).
+  // Zeroes every dirty page and clears the dirty bitmap (pool Clean()) with
+  // a word-granular bitmap scan: 64 clean pages are skipped per iteration.
   // Returns the number of bytes zeroed.
   uint64_t ZeroDirtyPages();
   void ClearDirty();
@@ -86,9 +96,15 @@ class GuestMemory {
   void ResetEpt();
 
  private:
+  static constexpr uint64_t kNoPage = ~0ULL;
+
   std::vector<uint8_t> bytes_;
   std::vector<uint64_t> dirty_;  // 1 bit per 4 KB page
   std::vector<uint64_t> ept_;    // 1 bit per 2 MB region
+  // Page dirtied by the most recent StoreRaw; invariant: when != kNoPage its
+  // bitmap bit is set, so the hot path may skip re-marking it.  Cleared
+  // whenever the bitmap is cleared.
+  uint64_t last_dirty_page_ = kNoPage;
 };
 
 }  // namespace vhw

@@ -10,6 +10,7 @@
 #include "src/vcc/vcc.h"
 #include "src/vjs/vjs.h"
 #include "src/vrt/vlibc.h"
+#include "src/wasp/executor.h"
 
 namespace vnet {
 
@@ -30,6 +31,32 @@ vbase::Status Vespid::Register(const std::string& name, const std::string& micro
   return vbase::Status::Ok();
 }
 
+namespace {
+
+wasp::VirtineSpec MakeVespidSpec(const std::string& name, const visa::Image* image,
+                                 const std::vector<uint8_t>* payload) {
+  wasp::VirtineSpec spec;
+  spec.image = image;
+  spec.key = "vespid-" + name;
+  spec.mem_size = 2ULL << 20;
+  spec.policy = wasp::kPolicyManaged;
+  spec.use_snapshot = true;
+  spec.crt_snapshot = false;  // the engine snapshots itself after init
+  spec.input = payload;
+  return spec;
+}
+
+Vespid::Invocation MakeInvocation(wasp::RunOutcome&& outcome) {
+  Vespid::Invocation inv;
+  inv.output = std::move(outcome.output);
+  inv.modeled_cycles = outcome.stats.total_cycles;
+  inv.wall_ns = outcome.stats.total_ns;
+  inv.cold = !outcome.stats.restored_snapshot;
+  return inv;
+}
+
+}  // namespace
+
 vbase::Result<Vespid::Invocation> Vespid::Invoke(const std::string& name,
                                                  const std::vector<uint8_t>& payload) {
   const Fn* fn = nullptr;
@@ -43,24 +70,48 @@ vbase::Result<Vespid::Invocation> Vespid::Invoke(const std::string& name,
     return vbase::NotFound("no such function: " + name);
   }
   vbase::WallTimer timer;
-  wasp::VirtineSpec spec;
-  spec.image = &fn->image;
-  spec.key = "vespid-" + name;
-  spec.mem_size = 2ULL << 20;
-  spec.policy = wasp::kPolicyManaged;
-  spec.use_snapshot = true;
-  spec.crt_snapshot = false;  // the engine snapshots itself after init
-  spec.input = &payload;
+  wasp::VirtineSpec spec = MakeVespidSpec(fn->name, &fn->image, &payload);
   wasp::RunOutcome outcome = runtime_->Invoke(spec);
   if (!outcome.status.ok()) {
     return outcome.status;
   }
-  Invocation inv;
-  inv.output = std::move(outcome.output);
-  inv.modeled_cycles = outcome.stats.total_cycles;
+  Invocation inv = MakeInvocation(std::move(outcome));
   inv.wall_ns = timer.ElapsedNanos();
-  inv.cold = !outcome.stats.restored_snapshot;
   return inv;
+}
+
+vbase::Result<Vespid::BatchResult> Vespid::InvokeBatch(
+    const std::string& name, const std::vector<std::vector<uint8_t>>& payloads,
+    int concurrency) {
+  const Fn* fn = nullptr;
+  for (const Fn& f : functions_) {
+    if (f.name == name) {
+      fn = &f;
+      break;
+    }
+  }
+  if (fn == nullptr) {
+    return vbase::NotFound("no such function: " + name);
+  }
+  std::vector<wasp::VirtineSpec> specs;
+  specs.reserve(payloads.size());
+  for (const std::vector<uint8_t>& payload : payloads) {
+    specs.push_back(MakeVespidSpec(fn->name, &fn->image, &payload));
+  }
+  wasp::Executor::BatchStats stats;
+  std::vector<wasp::RunOutcome> outcomes =
+      wasp::Executor::Run(runtime_, specs, concurrency, &stats);
+  BatchResult batch;
+  batch.invocations.reserve(outcomes.size());
+  for (wasp::RunOutcome& outcome : outcomes) {
+    if (!outcome.status.ok()) {
+      return outcome.status;
+    }
+    batch.invocations.push_back(MakeInvocation(std::move(outcome)));
+  }
+  batch.wall_ns = stats.wall_ns;
+  batch.makespan_cycles = stats.MakespanCycles();
+  return batch;
 }
 
 SimResult SimulateBurstyLoad(const std::vector<LoadPhase>& phases, const ExecutorModel& model,

@@ -1,0 +1,92 @@
+// wasp::Executor — the multicore invocation driver.
+//
+// The paper's serverless case study (Vespid, Figure 15) lives or dies on
+// sustaining *bursts* of concurrent invocations; a single-lane Invoke()
+// cannot express that.  The executor adds two concurrent entry points on
+// top of Runtime::Invoke:
+//
+//   * Submit(spec) — enqueue one invocation on a fixed worker pool and get
+//     a std::future<RunOutcome> back (the Runtime::InvokeAsync path), and
+//   * Run(runtime, specs, concurrency) — run a batch of invocations across
+//     `concurrency` worker threads (striped static assignment, so lane
+//     loads are deterministic) and return the outcomes in submission order.
+//
+// Invocations are independent by construction (each owns its shell, its
+// hypercall frame, and its fd table), so the only shared state a worker
+// touches is the sharded Pool and the read-mostly SnapshotStore — both
+// designed to scale with the worker count.
+//
+// BatchStats reports per-worker-lane modeled busy cycles.  Max over lanes
+// is the batch's modeled makespan: the deterministic, machine-independent
+// currency the scaling benchmark uses to compare 1/2/4/8-lane throughput.
+//
+// Lifetime: specs hold non-owning pointers (image, input, channel); the
+// caller keeps those alive until the future resolves / Run returns.
+#ifndef SRC_WASP_EXECUTOR_H_
+#define SRC_WASP_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/wasp/runtime.h"
+
+namespace wasp {
+
+class Executor {
+ public:
+  // Per-lane accounting for a batch run.
+  struct BatchStats {
+    std::vector<uint64_t> worker_cycles;  // modeled busy cycles per lane
+    uint64_t wall_ns = 0;                 // real elapsed time of the batch
+
+    // The batch's modeled completion time: the busiest lane bounds it.
+    uint64_t MakespanCycles() const {
+      uint64_t makespan = 0;
+      for (uint64_t c : worker_cycles) {
+        makespan = std::max(makespan, c);
+      }
+      return makespan;
+    }
+  };
+
+  Executor(Runtime* runtime, int workers);
+  ~Executor();  // drains the queue, then joins the workers
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  // Enqueues one invocation; the future resolves with its RunOutcome.
+  std::future<RunOutcome> Submit(VirtineSpec spec);
+
+  size_t workers() const { return workers_.size(); }
+
+  // Runs `specs` to completion over `concurrency` transient worker threads;
+  // outcomes are returned in spec order.  `stats` (optional) receives the
+  // per-lane modeled-cycle accounting.
+  static std::vector<RunOutcome> Run(Runtime* runtime, const std::vector<VirtineSpec>& specs,
+                                     int concurrency, BatchStats* stats = nullptr);
+
+ private:
+  struct Job {
+    VirtineSpec spec;
+    std::promise<RunOutcome> promise;
+  };
+
+  void WorkerLoop();
+
+  Runtime* runtime_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace wasp
+
+#endif  // SRC_WASP_EXECUTOR_H_

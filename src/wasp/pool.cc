@@ -1,24 +1,49 @@
 #include "src/wasp/pool.h"
 
+#include <algorithm>
+#include <functional>
+
 #include "src/wasp/abi.h"
 
 namespace wasp {
 
-Pool::Pool(CleanMode mode) : mode_(mode) {
-  if (mode_ == CleanMode::kAsync) {
-    cleaner_ = std::thread([this] { CleanerLoop(); });
+Pool::Pool(const PoolOptions& options)
+    : options_([&] {
+        PoolOptions o = options;
+        o.shards = std::max(o.shards, 1);
+        o.cleaners = std::max(o.cleaners, 1);
+        return o;
+      }()) {
+  shards_.reserve(static_cast<size_t>(options_.shards));
+  for (int i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (options_.mode == CleanMode::kAsync) {
+    cleaners_.reserve(static_cast<size_t>(options_.cleaners));
+    for (int i = 0; i < options_.cleaners; ++i) {
+      const size_t home = static_cast<size_t>(i) % shards_.size();
+      cleaners_.emplace_back([this, home] { CleanerLoop(home); });
+    }
   }
 }
 
 Pool::~Pool() {
+  stop_.store(true);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
+    // Empty critical section: a cleaner that evaluated its predicate before
+    // the store is now blocked in wait and will see the notify.
+    std::lock_guard<std::mutex> lock(cleaner_mu_);
   }
-  cv_.notify_all();
-  if (cleaner_.joinable()) {
-    cleaner_.join();
+  cleaner_cv_.notify_all();
+  for (std::thread& cleaner : cleaners_) {
+    if (cleaner.joinable()) {
+      cleaner.join();
+    }
   }
+}
+
+size_t Pool::HomeShard() const {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) % shards_.size();
 }
 
 void Pool::CleanShell(vkvm::Vm* vm) {
@@ -29,115 +54,190 @@ void Pool::CleanShell(vkvm::Vm* vm) {
   const uint64_t zeroed = vm->memory().ZeroDirtyPages();
   vm->ResetVcpu(kImageLoadAddr);
   vm->ResetAccounting();
-  if (mode_ == CleanMode::kSync) {
+  if (options_.mode == CleanMode::kSync) {
     // Synchronous cleaning sits on the provisioning critical path ("Wasp+C");
     // charge its modeled memset cost to the shell's next tenant.  The async
-    // cleaner ("Wasp+CA") absorbs it off the critical path instead.
+    // cleaner crew ("Wasp+CA") absorbs it off the critical path instead.
     vm->AddHostCycles(static_cast<uint64_t>(
         static_cast<double>(zeroed) / vm->config().host_costs.memcpy_bytes_per_cycle));
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.cleans++;
-  stats_.bytes_zeroed += zeroed;
+  stats_.cleans.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_zeroed.fetch_add(zeroed, std::memory_order_relaxed);
 }
 
 std::unique_ptr<vkvm::Vm> Pool::Acquire(const vkvm::VmConfig& config, bool* from_pool) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_.acquires++;
-    auto it = free_.find(config.mem_size);
-    if (it != free_.end() && !it->second.empty()) {
+  stats_.acquires.fetch_add(1, std::memory_order_relaxed);
+  // Home shard first, then steal from siblings; shard locks are never nested.
+  const size_t home = HomeShard();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[(home + i) % shards_.size()];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.free.find(config.mem_size);
+    if (it != shard.free.end() && !it->second.empty()) {
       std::unique_ptr<vkvm::Vm> vm = std::move(it->second.back());
       it->second.pop_back();
-      stats_.pool_hits++;
+      stats_.pool_hits.fetch_add(1, std::memory_order_relaxed);
       if (from_pool != nullptr) {
         *from_pool = true;
       }
       return vm;
     }
-    stats_.fresh_creates++;
   }
+  stats_.fresh_creates.fetch_add(1, std::memory_order_relaxed);
   if (from_pool != nullptr) {
     *from_pool = false;
   }
   return vkvm::Vm::Create(config);
 }
 
+void Pool::ParkClean(std::unique_ptr<vkvm::Vm> vm, size_t shard) {
+  const uint64_t mem_size = vm->config().mem_size;
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  shards_[shard]->free[mem_size].push_back(std::move(vm));
+}
+
 void Pool::Release(std::unique_ptr<vkvm::Vm> vm) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_.releases++;
-  }
-  switch (mode_) {
+  stats_.releases.fetch_add(1, std::memory_order_relaxed);
+  switch (options_.mode) {
     case CleanMode::kNone:
       // Drop it: the host kernel reclaims the context.
       return;
     case CleanMode::kSync: {
       CleanShell(vm.get());
-      std::lock_guard<std::mutex> lock(mu_);
-      free_[vm->config().mem_size].push_back(std::move(vm));
+      ParkClean(std::move(vm), HomeShard());
       return;
     }
     case CleanMode::kAsync: {
+      const size_t home = HomeShard();
       {
-        std::lock_guard<std::mutex> lock(mu_);
-        dirty_.push_back(std::move(vm));
+        // Push and count under the same shard lock as PopDirty's pop and
+        // decrement: the counter can then never go negative, which is what
+        // keeps DrainCleaner's (dirty == 0 && in_flight == 0) test sound.
+        std::lock_guard<std::mutex> lock(shards_[home]->mu);
+        shards_[home]->dirty.push_back(std::move(vm));
+        dirty_count_.fetch_add(1);
       }
-      cv_.notify_all();
+      {
+        std::lock_guard<std::mutex> lock(cleaner_mu_);
+      }
+      cleaner_cv_.notify_one();
       return;
     }
   }
 }
 
-void Pool::CleanerLoop() {
+std::unique_ptr<vkvm::Vm> Pool::PopDirty(size_t home, size_t* source_shard) {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const size_t index = (home + i) % shards_.size();
+    Shard& shard = *shards_[index];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.dirty.empty()) {
+      continue;
+    }
+    std::unique_ptr<vkvm::Vm> vm = std::move(shard.dirty.front());
+    shard.dirty.pop_front();
+    // Order matters for DrainCleaner: raise in-flight before dropping the
+    // dirty count so (dirty == 0 && in_flight == 0) implies truly drained.
+    cleaning_in_flight_.fetch_add(1);
+    dirty_count_.fetch_sub(1);
+    *source_shard = index;
+    return vm;
+  }
+  return nullptr;
+}
+
+void Pool::CleanerLoop(size_t home) {
   while (true) {
-    std::unique_ptr<vkvm::Vm> vm;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stop_ || !dirty_.empty(); });
-      if (stop_ && dirty_.empty()) {
+    size_t source = home;
+    std::unique_ptr<vkvm::Vm> vm = PopDirty(home, &source);
+    if (vm == nullptr) {
+      if (stop_.load()) {
         return;
       }
-      vm = std::move(dirty_.front());
-      dirty_.pop_front();
-      ++cleaning_in_flight_;
+      std::unique_lock<std::mutex> lock(cleaner_mu_);
+      cleaner_cv_.wait(lock, [&] { return stop_.load() || dirty_count_.load() > 0; });
+      continue;
     }
     CleanShell(vm.get());
+    // Park the clean shell back on the shard it was released to, preserving
+    // the releasing thread's locality for its next acquire.
+    ParkClean(std::move(vm), source);
+    cleaning_in_flight_.fetch_sub(1);
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      free_[vm->config().mem_size].push_back(std::move(vm));
-      --cleaning_in_flight_;
+      std::lock_guard<std::mutex> lock(cleaner_mu_);
     }
-    cv_.notify_all();
+    drain_cv_.notify_all();
   }
 }
 
 void Pool::DrainCleaner() {
-  if (mode_ != CleanMode::kAsync) {
+  if (options_.mode != CleanMode::kAsync) {
     return;
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return dirty_.empty() && cleaning_in_flight_ == 0; });
+  std::unique_lock<std::mutex> lock(cleaner_mu_);
+  drain_cv_.wait(lock, [&] {
+    return dirty_count_.load() == 0 && cleaning_in_flight_.load() == 0;
+  });
 }
 
 void Pool::Prewarm(const vkvm::VmConfig& config, int count) {
+  // Create (and account-reset) every shell outside any lock, then insert
+  // round-robin so the warm set spreads across shards: one lock acquisition
+  // per shard instead of one per shell.
+  std::vector<std::unique_ptr<vkvm::Vm>> fresh;
+  fresh.reserve(static_cast<size_t>(std::max(count, 0)));
   for (int i = 0; i < count; ++i) {
     auto vm = vkvm::Vm::Create(config);
     vm->ResetAccounting();
-    std::lock_guard<std::mutex> lock(mu_);
-    free_[config.mem_size].push_back(std::move(vm));
+    fresh.push_back(std::move(vm));
+  }
+  for (size_t s = 0; s < shards_.size() && s < fresh.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    auto& slot = shards_[s]->free[config.mem_size];
+    for (size_t i = s; i < fresh.size(); i += shards_.size()) {
+      slot.push_back(std::move(fresh[i]));
+    }
   }
 }
 
 PoolStats Pool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  PoolStats out;
+  out.acquires = stats_.acquires.load(std::memory_order_relaxed);
+  out.pool_hits = stats_.pool_hits.load(std::memory_order_relaxed);
+  out.fresh_creates = stats_.fresh_creates.load(std::memory_order_relaxed);
+  out.releases = stats_.releases.load(std::memory_order_relaxed);
+  out.cleans = stats_.cleans.load(std::memory_order_relaxed);
+  out.bytes_zeroed = stats_.bytes_zeroed.load(std::memory_order_relaxed);
+  return out;
 }
 
 size_t Pool::FreeShells(uint64_t mem_size) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = free_.find(mem_size);
-  return it == free_.end() ? 0 : it->second.size();
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    auto it = shard->free.find(mem_size);
+    if (it != shard->free.end()) {
+      n += it->second.size();
+    }
+  }
+  return n;
+}
+
+size_t Pool::TotalFreeShells() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [size, shells] : shard->free) {
+      n += shells.size();
+    }
+  }
+  return n;
+}
+
+size_t Pool::FreeShellsInShard(size_t shard, uint64_t mem_size) const {
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  auto it = shards_[shard]->free.find(mem_size);
+  return it == shards_[shard]->free.end() ? 0 : it->second.size();
 }
 
 }  // namespace wasp

@@ -1,16 +1,26 @@
-// The virtine shell pool (Section 5.2, Figure 6).
+// The virtine shell pool (Section 5.2, Figure 6), scaled out for multicore.
 //
 // Creating a hardware VM context is expensive (host kernel allocation of
 // VMCS/VMCB state, EPT construction).  Wasp therefore keeps released VM
 // contexts — "shells" — and reuses them: a released shell is *cleaned*
 // (every dirty page zeroed, preventing information leakage) and parked in a
 // free list keyed by memory size.  Cleaning can run synchronously on
-// release ("Wasp+C") or on a background cleaner thread ("Wasp+CA"), which
+// release ("Wasp+C") or on a background cleaner crew ("Wasp+CA"), which
 // takes cleaning off the acquire/release critical path and brings shell
 // provisioning within a few percent of a bare vmrun.
+//
+// Concurrency model: the pool is lock-striped into N shards, each with its
+// own mutex, free lists, and dirty queue.  A thread's Acquire/Release lands
+// on its home shard (stable hash of the thread id), so concurrent invokers
+// on different threads never contend on a global lock.  An acquire that
+// misses its home shard steals a clean shell from sibling shards before
+// falling back to a fresh create, and the async cleaner crew steals dirty
+// shells from sibling shards the same way, so no shell is stranded behind a
+// busy shard.  Stats are plain atomics, aggregated on read.
 #ifndef SRC_WASP_POOL_H_
 #define SRC_WASP_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -27,21 +37,31 @@ namespace wasp {
 enum class CleanMode {
   kNone,   // no pooling: every release destroys the VM
   kSync,   // clean on release, inline
-  kAsync,  // clean on a background thread
+  kAsync,  // clean on a background cleaner crew
 };
 
 struct PoolStats {
   uint64_t acquires = 0;
-  uint64_t pool_hits = 0;       // shells served from the free list
+  uint64_t pool_hits = 0;       // shells served from a free list
   uint64_t fresh_creates = 0;   // shells created from scratch
   uint64_t releases = 0;
   uint64_t cleans = 0;
   uint64_t bytes_zeroed = 0;
 };
 
+struct PoolOptions {
+  CleanMode mode = CleanMode::kSync;
+  // Lock stripes.  Acquire/Release serialize only within a shard; the
+  // default comfortably exceeds the worker counts the executor drives.
+  int shards = 8;
+  // Async cleaner crew size (ignored unless mode == kAsync).
+  int cleaners = 2;
+};
+
 class Pool {
  public:
-  explicit Pool(CleanMode mode = CleanMode::kSync);
+  explicit Pool(CleanMode mode = CleanMode::kSync) : Pool(PoolOptions{mode}) {}
+  explicit Pool(const PoolOptions& options);
   ~Pool();
 
   Pool(const Pool&) = delete;
@@ -54,33 +74,68 @@ class Pool {
   // Returns a shell to the pool (cleaning per the pool's mode).
   void Release(std::unique_ptr<vkvm::Vm> vm);
 
-  // Blocks until the async cleaner has drained its queue (benchmark barrier).
+  // Blocks until the cleaner crew has drained every dirty queue (benchmark
+  // barrier).
   void DrainCleaner();
 
   // Pre-populates the pool with `count` clean shells (benchmark warm-up).
+  // Shells are created outside any lock and distributed round-robin across
+  // shards with one lock acquisition per shard.
   void Prewarm(const vkvm::VmConfig& config, int count);
 
   PoolStats stats() const;
+  // Clean shells of `mem_size` across all shards.
   size_t FreeShells(uint64_t mem_size) const;
+  // Clean shells of any size across all shards (conservation checks).
+  size_t TotalFreeShells() const;
 
-  CleanMode mode() const { return mode_; }
+  CleanMode mode() const { return options_.mode; }
+  size_t shard_count() const { return shards_.size(); }
+  size_t FreeShellsInShard(size_t shard, uint64_t mem_size) const;
 
  private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<uint64_t, std::vector<std::unique_ptr<vkvm::Vm>>> free;  // by mem size
+    std::deque<std::unique_ptr<vkvm::Vm>> dirty;
+  };
+
+  // The calling thread's home shard (stable across the thread's lifetime).
+  size_t HomeShard() const;
   // Zeroes dirty pages and resets vCPU/accounting; the modeled cycle cost of
   // the zeroing lands on the *next* user via the clean path being off the
   // acquire path (async) or on release (sync).
   void CleanShell(vkvm::Vm* vm);
-  void CleanerLoop();
+  // Pops one dirty shell, scanning shards from `home` (work-stealing).
+  // Transfers it to "cleaning in flight" before the dirty count drops so
+  // DrainCleaner never observes a false drain.
+  std::unique_ptr<vkvm::Vm> PopDirty(size_t home, size_t* source_shard);
+  void CleanerLoop(size_t home);
+  void ParkClean(std::unique_ptr<vkvm::Vm> vm, size_t shard);
 
-  const CleanMode mode_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<uint64_t, std::vector<std::unique_ptr<vkvm::Vm>>> free_;  // by mem size
-  std::deque<std::unique_ptr<vkvm::Vm>> dirty_;
-  PoolStats stats_;
-  bool stop_ = false;
-  int cleaning_in_flight_ = 0;
-  std::thread cleaner_;
+  const PoolOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Cleaner-crew coordination.  The dirty/in-flight counters are atomics so
+  // the release fast path never takes this mutex for queue work; it is held
+  // only around notify to close the sleep/notify race.
+  std::mutex cleaner_mu_;
+  std::condition_variable cleaner_cv_;  // cleaners sleep here
+  std::condition_variable drain_cv_;    // DrainCleaner sleeps here
+  std::atomic<int64_t> dirty_count_{0};
+  std::atomic<int64_t> cleaning_in_flight_{0};
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> cleaners_;
+
+  struct AtomicStats {
+    std::atomic<uint64_t> acquires{0};
+    std::atomic<uint64_t> pool_hits{0};
+    std::atomic<uint64_t> fresh_creates{0};
+    std::atomic<uint64_t> releases{0};
+    std::atomic<uint64_t> cleans{0};
+    std::atomic<uint64_t> bytes_zeroed{0};
+  };
+  mutable AtomicStats stats_;
 };
 
 }  // namespace wasp

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <thread>
 
 #include "src/base/clock.h"
 #include "src/base/log.h"
+#include "src/wasp/executor.h"
 
 namespace wasp {
 namespace {
@@ -14,10 +16,31 @@ namespace {
 constexpr uint64_t kMaxIoLen = 1ULL << 24;        // 16 MB
 constexpr uint64_t kMaxPathLen = 4096;
 
+PoolOptions MakePoolOptions(const RuntimeOptions& options) {
+  PoolOptions pool;
+  pool.mode = options.clean_mode;
+  pool.shards = options.pool_shards;
+  pool.cleaners = options.pool_cleaners;
+  return pool;
+}
+
 }  // namespace
 
 Runtime::Runtime(RuntimeOptions options)
-    : options_(std::move(options)), pool_(options_.clean_mode) {}
+    : options_(std::move(options)), pool_(MakePoolOptions(options_)) {}
+
+Runtime::~Runtime() = default;
+
+std::future<RunOutcome> Runtime::InvokeAsync(VirtineSpec spec) {
+  std::call_once(executor_once_, [this] {
+    int workers = options_.async_workers;
+    if (workers <= 0) {
+      workers = static_cast<int>(std::max(2u, std::thread::hardware_concurrency()));
+    }
+    executor_ = std::make_unique<Executor>(this, workers);
+  });
+  return executor_->Submit(std::move(spec));
+}
 
 vkvm::VmConfig Runtime::MakeVmConfig(uint64_t mem_size) const {
   vkvm::VmConfig cfg = options_.vm_defaults;
@@ -28,6 +51,9 @@ vkvm::VmConfig Runtime::MakeVmConfig(uint64_t mem_size) const {
 void Runtime::RestoreSnapshot(vkvm::Vm& vm, const Snapshot& snap) {
   // Replay dirty pages with memcpy; this is the "simple snapshotting
   // strategy" whose cost is bounded by memcpy bandwidth (Figure 12).
+  // `snap` is immutable and reference-held by the caller, so this copy runs
+  // without any SnapshotStore lock: concurrent restores of the same key
+  // proceed in parallel.
   for (const Snapshot::Page& page : snap.pages) {
     vbase::Status st =
         vm.memory().Write(page.index << vhw::kPageBits, page.bytes.data(), page.bytes.size());

@@ -21,8 +21,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <future>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -130,17 +132,34 @@ struct VirtineSpec {
 struct RuntimeOptions {
   CleanMode clean_mode = CleanMode::kSync;
   vkvm::VmConfig vm_defaults;
+  // Shell-pool scale-out knobs (defaults follow PoolOptions).
+  int pool_shards = PoolOptions{}.shards;
+  int pool_cleaners = PoolOptions{}.cleaners;
+  // Worker threads of the executor backing InvokeAsync (0 = pick from
+  // hardware concurrency).
+  int async_workers = 0;
 };
+
+class Executor;
 
 class Runtime {
  public:
   explicit Runtime(RuntimeOptions options = {});
+  ~Runtime();
 
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
   // Runs one virtine to completion (synchronous, like a function call).
+  // Thread-safe: concurrent Invokes share only the sharded pool and the
+  // read-mostly snapshot store.
   RunOutcome Invoke(const VirtineSpec& spec);
+
+  // Enqueues one virtine on the runtime's executor (created lazily on first
+  // use) and returns a future for its outcome.  The spec's non-owning
+  // pointers (image, input, channel) must stay alive until the future
+  // resolves.
+  std::future<RunOutcome> InvokeAsync(VirtineSpec spec);
 
   Pool& pool() { return pool_; }
   SnapshotStore& snapshots() { return snapshots_; }
@@ -162,6 +181,10 @@ class Runtime {
   Pool pool_;
   SnapshotStore snapshots_;
   HostEnv env_;
+  // Lazily constructed InvokeAsync worker pool; declared last so it joins
+  // (and drains in-flight invocations) before the pool it drives shuts down.
+  std::once_flag executor_once_;
+  std::unique_ptr<Executor> executor_;
 };
 
 }  // namespace wasp

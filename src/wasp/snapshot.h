@@ -16,7 +16,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -41,31 +41,37 @@ using SnapshotRef = std::shared_ptr<const Snapshot>;
 // Keyed snapshot cache: one snapshot per virtine image key ("the first
 // execution of a virtine must still go through the initialization process
 // ... subsequent executions of the same virtine begin at the snapshot").
+//
+// The store is read-mostly: after the first invocation of a key, every
+// subsequent invocation is a Find().  Lookups therefore take a shared lock
+// and run concurrently; only Put/Erase (one per key lifetime) take the lock
+// exclusively.  Find returns the shared_ptr itself, so restores copy pages
+// out of the immutable Snapshot without holding any store lock.
 class SnapshotStore {
  public:
   SnapshotRef Find(const std::string& key) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = snaps_.find(key);
     return it == snaps_.end() ? nullptr : it->second;
   }
 
   void Put(const std::string& key, SnapshotRef snap) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::shared_mutex> lock(mu_);
     snaps_[key] = std::move(snap);
   }
 
   void Erase(const std::string& key) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::shared_mutex> lock(mu_);
     snaps_.erase(key);
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> lock(mu_);
     return snaps_.size();
   }
 
  private:
-  mutable std::mutex mu_;
+  mutable std::shared_mutex mu_;
   std::map<std::string, SnapshotRef> snaps_;
 };
 
