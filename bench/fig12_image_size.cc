@@ -1,48 +1,209 @@
-// Figure 12: impact of image size on start-up latency.
+// Figure 12: impact of image size on start-up latency — cold loads and warm
+// snapshot restores.
 //
-// A minimal halting virtine is zero-padded from 16 KB to 16 MB; start-up
-// latency grows linearly once image copying dominates, bounded by memcpy
-// bandwidth (the paper measures 6.8 GB/s against tinker's 6.7 GB/s memcpy).
+// Cold sweep: a minimal halting virtine is zero-padded from 16 KB to 16 MB;
+// start-up latency grows linearly once image copying dominates, bounded by
+// memcpy bandwidth (the paper measures 6.8 GB/s against tinker's 6.7 GB/s
+// memcpy).
+//
+// Warm sweep (this reproduction's extension): the same padding applied to a
+// snapshotting fib virtine, restored warm at a fixed working set.  The
+// paper's "simple snapshotting strategy" re-copies the whole image per warm
+// start (plus the pool re-zeroes it on release), so warm cost scales with
+// image size.  The delta-aware engine parks the shell snapshot-affine and
+// repairs only the pages the run dirtied: warm cost is bounded by the
+// working set, independent of image size.
+//
+//   ./fig12_image_size             # full cold + warm sweeps
+//   ./fig12_image_size --quick     # CI gate: affine warm restore must not
+//                                  # scale with image size (16 MB vs 64 KB
+//                                  # modeled warm cycles under 1.5x)
+//   ./fig12_image_size --json out.json
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "bench/bench_util.h"
 #include "src/vrt/env.h"
 #include "src/vrt/samples.h"
 #include "src/wasp/runtime.h"
+#include "src/wasp/vfunc.h"
 
-int main() {
-  benchutil::Header(
-      "Figure 12: start-up latency vs image size (zero-padded halt image)",
-      "latency becomes memory-bandwidth bound beyond ~1-2 MB; 16 MB costs ~2.3 ms at "
-      "~6.8 GB/s");
+namespace {
 
-  auto base = vrt::BuildRawImage(vrt::HaltSource());
-  VB_CHECK(base.ok(), base.status().ToString());
+constexpr int kFibArg = 10;
+constexpr int64_t kFibExpected = 55;
 
-  vbase::Table table({"image size", "modeled us", "wall us (this host)", "GB/s (modeled)"});
-  for (uint64_t size : {16ULL << 10, 64ULL << 10, 256ULL << 10, 1ULL << 20, 4ULL << 20,
-                        16ULL << 20}) {
-    visa::Image image = *base;
-    image.PadTo(size);
-    wasp::Runtime runtime;
-    wasp::VirtineSpec spec;
-    spec.image = &image;
-    spec.word_bytes = 0;
-    spec.mem_size = size + (1ULL << 20);  // image at 0x8000 plus slack
-    std::vector<double> cycles, wall;
-    constexpr int kTrials = 10;
-    for (int t = 0; t < kTrials; ++t) {
-      auto outcome = runtime.Invoke(spec);
-      VB_CHECK(outcome.status.ok(), outcome.status.ToString());
-      cycles.push_back(static_cast<double>(outcome.stats.total_cycles));
-      wall.push_back(static_cast<double>(outcome.stats.total_ns) / 1e3);
-    }
-    const double mean_cycles = vbase::Summarize(cycles).mean;
-    const double us = vbase::CyclesToMicros(static_cast<uint64_t>(mean_cycles));
-    const double gbps = static_cast<double>(size) / (us * 1e-6) / 1e9;
-    table.AddRow({vbase::HumanBytes(size), vbase::Fmt(us, 1),
-                  vbase::Fmt(vbase::Summarize(wall).mean, 1), vbase::Fmt(gbps, 2)});
+struct WarmPoint {
+  uint64_t image_size = 0;
+  double full_cycles = 0;    // warm restore, affinity off (full image copy)
+  double affine_cycles = 0;  // warm restore, snapshot-affine delta repair
+  uint64_t full_restored_bytes = 0;
+  uint64_t affine_restored_bytes = 0;
+};
+
+// Mean modeled warm-invocation cycles for one image size with the affinity
+// knob on or off; also reports the restore copy volume of the last trial.
+void MeasureWarm(const visa::Image& image, uint64_t mem_size, bool affinity, int trials,
+                 double* mean_cycles, uint64_t* restored_bytes) {
+  wasp::RuntimeOptions options;
+  options.snapshot_affinity = affinity;
+  wasp::Runtime runtime(options);
+  wasp::VirtineSpec spec;
+  spec.image = &image;
+  spec.key = "fig12-warm";
+  spec.use_snapshot = true;
+  spec.word_bytes = 8;
+  spec.mem_size = mem_size;
+  wasp::ArgPacker packer(spec.word_bytes);
+  packer.AddWord(static_cast<uint64_t>(kFibArg));
+  spec.args_page = packer.Finish();
+
+  auto cold = runtime.Invoke(spec);
+  VB_CHECK(cold.status.ok(), cold.status.ToString());
+  VB_CHECK(cold.stats.took_snapshot, "cold run failed to take the snapshot");
+
+  std::vector<double> cycles;
+  for (int t = 0; t < trials; ++t) {
+    auto outcome = runtime.Invoke(spec);
+    VB_CHECK(outcome.status.ok(), outcome.status.ToString());
+    VB_CHECK(outcome.stats.restored_snapshot, "warm run missed the snapshot");
+    VB_CHECK(static_cast<int64_t>(outcome.result_word) == kFibExpected,
+             "wrong fib result from a warm restore");
+    VB_CHECK(outcome.stats.affine_restore == affinity,
+             "unexpected restore path (affinity knob ignored)");
+    cycles.push_back(static_cast<double>(outcome.stats.total_cycles));
+    *restored_bytes = outcome.stats.restored_bytes;
   }
-  table.Print();
-  std::printf("\nEvery trial loads the padded image into a pooled shell (memcpy); the "
-              "modeled charge uses the calibrated 6.7 GB/s bandwidth.\n");
-  return 0;
+  *mean_cycles = vbase::Summarize(cycles).mean;
+}
+
+void WriteJson(const std::string& path, const std::vector<WarmPoint>& warm) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  VB_CHECK(f != nullptr, "cannot open " << path);
+  std::fprintf(f, "{\n  \"warm_restore_vs_image_size\": [\n");
+  for (size_t i = 0; i < warm.size(); ++i) {
+    const WarmPoint& p = warm[i];
+    std::fprintf(f,
+                 "    {\"image_bytes\": %llu, \"warm_full_cycles\": %.0f, "
+                 "\"warm_affine_cycles\": %.0f, \"full_restored_bytes\": %llu, "
+                 "\"affine_restored_bytes\": %llu}%s\n",
+                 static_cast<unsigned long long>(p.image_size), p.full_cycles,
+                 p.affine_cycles, static_cast<unsigned long long>(p.full_restored_bytes),
+                 static_cast<unsigned long long>(p.affine_restored_bytes),
+                 i + 1 < warm.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  benchutil::Header(
+      "Figure 12: start-up latency vs image size (cold load + warm restore)",
+      "cold latency becomes memory-bandwidth bound beyond ~1-2 MB; affine warm "
+      "restores are bounded by the working set, independent of image size");
+
+  // --- Cold sweep (the paper's figure) --------------------------------------
+  if (!quick) {
+    auto base = vrt::BuildRawImage(vrt::HaltSource());
+    VB_CHECK(base.ok(), base.status().ToString());
+    vbase::Table cold_table({"image size", "modeled us", "wall us (this host)",
+                             "GB/s (modeled)"});
+    for (uint64_t size : {16ULL << 10, 64ULL << 10, 256ULL << 10, 1ULL << 20, 4ULL << 20,
+                          16ULL << 20}) {
+      visa::Image image = *base;
+      image.PadTo(size);
+      wasp::Runtime runtime;
+      wasp::VirtineSpec spec;
+      spec.image = &image;
+      spec.word_bytes = 0;
+      spec.mem_size = size + (1ULL << 20);  // image at 0x8000 plus slack
+      std::vector<double> cycles, wall;
+      constexpr int kTrials = 10;
+      for (int t = 0; t < kTrials; ++t) {
+        auto outcome = runtime.Invoke(spec);
+        VB_CHECK(outcome.status.ok(), outcome.status.ToString());
+        cycles.push_back(static_cast<double>(outcome.stats.total_cycles));
+        wall.push_back(static_cast<double>(outcome.stats.total_ns) / 1e3);
+      }
+      const double mean_cycles = vbase::Summarize(cycles).mean;
+      const double us = vbase::CyclesToMicros(static_cast<uint64_t>(mean_cycles));
+      const double gbps = static_cast<double>(size) / (us * 1e-6) / 1e9;
+      cold_table.AddRow({vbase::HumanBytes(size), vbase::Fmt(us, 1),
+                         vbase::Fmt(vbase::Summarize(wall).mean, 1), vbase::Fmt(gbps, 2)});
+    }
+    cold_table.Print();
+    std::printf("\nEvery cold trial loads the padded image into a pooled shell (memcpy); "
+                "the modeled charge uses the calibrated 6.7 GB/s bandwidth.\n\n");
+  }
+
+  // --- Warm sweep: restore cost vs image size at fixed working set ----------
+  auto fib_base = vrt::BuildImage(vrt::Env::kLong64, vrt::FibSource());
+  VB_CHECK(fib_base.ok(), fib_base.status().ToString());
+  const int warm_trials = quick ? 3 : 8;
+  std::vector<uint64_t> warm_sizes;
+  if (quick) {
+    warm_sizes = {64ULL << 10, 16ULL << 20};
+  } else {
+    warm_sizes = {64ULL << 10, 256ULL << 10, 1ULL << 20, 4ULL << 20, 16ULL << 20};
+  }
+
+  std::vector<WarmPoint> warm;
+  for (const uint64_t size : warm_sizes) {
+    visa::Image image = *fib_base;
+    image.PadTo(size);
+    WarmPoint point;
+    point.image_size = size;
+    const uint64_t mem_size = size + (1ULL << 20);
+    MeasureWarm(image, mem_size, /*affinity=*/false, warm_trials, &point.full_cycles,
+                &point.full_restored_bytes);
+    MeasureWarm(image, mem_size, /*affinity=*/true, warm_trials, &point.affine_cycles,
+                &point.affine_restored_bytes);
+    warm.push_back(point);
+  }
+
+  vbase::Table warm_table({"image size", "warm full kcycles", "warm affine kcycles",
+                           "full restore", "affine restore", "affine speedup"});
+  for (const WarmPoint& point : warm) {
+    warm_table.AddRow(
+        {vbase::HumanBytes(point.image_size), vbase::Fmt(point.full_cycles / 1e3, 1),
+         vbase::Fmt(point.affine_cycles / 1e3, 1),
+         vbase::HumanBytes(point.full_restored_bytes),
+         vbase::HumanBytes(point.affine_restored_bytes),
+         vbase::Fmt(point.full_cycles / point.affine_cycles, 2)});
+  }
+  warm_table.Print();
+  std::printf("\nWarm rows run fib(%d) (fixed working set) from a snapshot padded to the "
+              "image size;\n\"full\" re-copies the whole snapshot per warm start "
+              "(affinity disabled), \"affine\" repairs\nonly the delta on a "
+              "snapshot-affine shell.\n",
+              kFibArg);
+
+  // CI gate: affine warm restore cost must not scale with image size.
+  const WarmPoint& smallest = warm.front();
+  const WarmPoint& largest = warm.back();
+  const double ratio = largest.affine_cycles / smallest.affine_cycles;
+  std::printf("\nClaim check: affine warm restore at %s vs %s image -> %.2fx "
+              "(floor: < 1.5x) (%s)\n",
+              vbase::HumanBytes(largest.image_size).c_str(),
+              vbase::HumanBytes(smallest.image_size).c_str(), ratio,
+              ratio < 1.5 ? "PASS" : "FAIL");
+
+  if (!json_path.empty()) {
+    WriteJson(json_path, warm);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return ratio < 1.5 ? 0 : 1;
 }

@@ -21,8 +21,9 @@ if [[ "${TSAN:-0}" == "1" ]]; then
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build "$BUILD_DIR" -j"$(nproc)" \
-    --target test_wasp test_wasp_concurrency test_net
-  (cd "$BUILD_DIR" && ./test_wasp && ./test_wasp_concurrency && ./test_net)
+    --target test_wasp test_wasp_concurrency test_snapshot_engine test_net
+  (cd "$BUILD_DIR" && ./test_wasp && ./test_wasp_concurrency && \
+   ./test_snapshot_engine && ./test_net)
   exit 0
 fi
 
@@ -33,3 +34,7 @@ cmake --build "$BUILD_DIR" -j"$(nproc)"
 # Multicore throughput smoke: fails (non-zero) if pooled-async scaling ever
 # drops below the 4x-at-8-threads floor, so the concurrent path cannot rot.
 (cd "$BUILD_DIR" && ./fig9_multicore_scaling --quick)
+# Delta-restore smoke: fails (non-zero) if affine warm snapshot restore cost
+# ever scales with image size again (16 MB vs 64 KB image at a fixed working
+# set must stay under 1.5x).
+(cd "$BUILD_DIR" && ./fig12_image_size --quick)

@@ -97,6 +97,11 @@ class Cpu {
     first_insn_pending_ = false;
     pending_entry_charge_ = false;
     fault_.clear();
+    // A restore begins a fresh invocation; snapshot-affine shells skip the
+    // pool's vCPU Reset, so the retire/exit/milestone counters restart here.
+    insns_ = 0;
+    io_exits_ = 0;
+    milestones_.clear();
   }
 
   // Runs until an exit condition; resumable.  On an I/O exit rip already

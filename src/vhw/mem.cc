@@ -8,6 +8,7 @@ GuestMemory::GuestMemory(uint64_t size) {
   const uint64_t rounded = (size + kPageSize - 1) & ~(kPageSize - 1);
   bytes_.assign(rounded, 0);
   dirty_.assign((NumPages() + 63) / 64, 0);
+  epoch_.assign(dirty_.size(), 0);
   const uint64_t regions = (rounded + kRegionSize - 1) >> kRegionBits;
   ept_.assign((regions + 63) / 64, 0);
 }
@@ -63,6 +64,7 @@ uint64_t GuestMemory::ZeroDirtyPages() {
       zeroed += kPageSize;
     }
     dirty_[w] = 0;
+    epoch_[w] = 0;  // the epoch bitmap is a subset of the dirty bitmap
   }
   last_dirty_page_ = kNoPage;
   return zeroed;
@@ -70,7 +72,34 @@ uint64_t GuestMemory::ZeroDirtyPages() {
 
 void GuestMemory::ClearDirty() {
   std::fill(dirty_.begin(), dirty_.end(), 0);
+  std::fill(epoch_.begin(), epoch_.end(), 0);
   last_dirty_page_ = kNoPage;
+}
+
+void GuestMemory::BeginEpoch() {
+  std::fill(epoch_.begin(), epoch_.end(), 0);
+  last_dirty_page_ = kNoPage;  // its invariant spans both bitmaps
+}
+
+uint64_t GuestMemory::CountEpochDirtyPages() const {
+  uint64_t n = 0;
+  for (uint64_t w : epoch_) {
+    n += static_cast<uint64_t>(__builtin_popcountll(w));
+  }
+  return n;
+}
+
+std::vector<uint64_t> GuestMemory::CollectDirtySince() const {
+  std::vector<uint64_t> pages;
+  for (size_t w = 0; w < epoch_.size(); ++w) {
+    uint64_t word = epoch_[w];
+    while (word != 0) {
+      pages.push_back(static_cast<uint64_t>(w) * 64 +
+                      static_cast<uint64_t>(__builtin_ctzll(word)));
+      word &= word - 1;
+    }
+  }
+  return pages;
 }
 
 void GuestMemory::ResetEpt() { std::fill(ept_.begin(), ept_.end(), 0); }

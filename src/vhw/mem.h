@@ -1,8 +1,13 @@
-// Guest physical memory with dirty-page and EPT first-touch tracking.
+// Guest physical memory with dirty-page, snapshot-epoch, and EPT first-touch
+// tracking.
 //
 // Dirty tracking (4 KB granularity) lets the Wasp pool clean a released
 // virtine shell by zeroing only the pages it touched (the paper's
 // `vm.clean()`), and lets snapshot restores copy only what changed.
+// Epoch tracking is a second, independently resettable dirty bitmap: the
+// snapshot engine begins an epoch right after laying a snapshot into a
+// shell, so the next restore of the *same* snapshot repairs only the pages
+// written since (delta restore) instead of re-copying the whole image.
 // EPT first-touch tracking (2 MB granularity) feeds the cost model: the
 // first access to a region models a KVM EPT-violation exit; a pooled shell
 // that is reused keeps its EPT, which is precisely why reuse is cheap.
@@ -69,6 +74,7 @@ class GuestMemory {
     const uint64_t last = (gpa + len - 1) >> kPageBits;
     for (uint64_t p = first; p <= last; ++p) {
       dirty_[p >> 6] |= 1ULL << (p & 63);
+      epoch_[p >> 6] |= 1ULL << (p & 63);
     }
   }
   bool PageDirty(uint64_t page) const { return (dirty_[page >> 6] >> (page & 63)) & 1; }
@@ -79,6 +85,19 @@ class GuestMemory {
   // Returns the number of bytes zeroed.
   uint64_t ZeroDirtyPages();
   void ClearDirty();
+
+  // --- Snapshot epoch ------------------------------------------------------
+  // Starts a new epoch: the epoch bitmap forgets all prior writes.  The
+  // caller's contract is that memory at this instant matches some reference
+  // state (a freshly laid-down snapshot); CollectDirtySince then names
+  // exactly the pages that deviate from it.
+  void BeginEpoch();
+  bool EpochPageDirty(uint64_t page) const {
+    return (epoch_[page >> 6] >> (page & 63)) & 1;
+  }
+  uint64_t CountEpochDirtyPages() const;
+  // Pages written since BeginEpoch, in ascending order.
+  std::vector<uint64_t> CollectDirtySince() const;
 
   // --- EPT first-touch model ----------------------------------------------
   // Returns true when this is the first access to the 2 MB region containing
@@ -99,11 +118,12 @@ class GuestMemory {
   static constexpr uint64_t kNoPage = ~0ULL;
 
   std::vector<uint8_t> bytes_;
-  std::vector<uint64_t> dirty_;  // 1 bit per 4 KB page
+  std::vector<uint64_t> dirty_;  // 1 bit per 4 KB page, since creation/clean
+  std::vector<uint64_t> epoch_;  // 1 bit per 4 KB page, since BeginEpoch
   std::vector<uint64_t> ept_;    // 1 bit per 2 MB region
   // Page dirtied by the most recent StoreRaw; invariant: when != kNoPage its
-  // bitmap bit is set, so the hot path may skip re-marking it.  Cleared
-  // whenever the bitmap is cleared.
+  // bit is set in *both* the dirty and epoch bitmaps, so the hot path may
+  // skip re-marking it.  Cleared whenever either bitmap is cleared.
   uint64_t last_dirty_page_ = kNoPage;
 };
 

@@ -52,6 +52,8 @@ Vespid::Invocation MakeInvocation(wasp::RunOutcome&& outcome) {
   inv.modeled_cycles = outcome.stats.total_cycles;
   inv.wall_ns = outcome.stats.total_ns;
   inv.cold = !outcome.stats.restored_snapshot;
+  inv.affine = outcome.stats.affine_restore;
+  inv.restored_bytes = outcome.stats.restored_bytes;
   return inv;
 }
 

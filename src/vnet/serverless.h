@@ -41,7 +41,9 @@ class Vespid {
     std::vector<uint8_t> output;
     uint64_t modeled_cycles = 0;
     uint64_t wall_ns = 0;
-    bool cold = false;  // no snapshot existed yet
+    bool cold = false;    // no snapshot existed yet
+    bool affine = false;  // warm start served by a snapshot-affine delta restore
+    uint64_t restored_bytes = 0;  // restore copy volume (full image vs delta)
   };
 
   // Invokes `name` with `payload` in a fresh virtine.

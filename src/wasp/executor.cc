@@ -44,6 +44,16 @@ std::future<RunOutcome> Executor::Submit(VirtineSpec spec) {
 }
 
 void Executor::WorkerLoop() {
+  // Keyed submit hint: a worker that just ran snapshot key K parked K's
+  // shell snapshot-affine in its home pool shard, so a queued job with the
+  // same key is cheapest to run *here* (delta restore instead of a full
+  // image copy).  The scan is bounded and fairness-capped: after a few
+  // consecutive out-of-order picks the worker must take the queue head, so
+  // no job can starve behind a stream of matching keys.
+  constexpr size_t kAffinityScan = 8;
+  constexpr int kMaxConsecutiveSkips = 4;
+  std::string last_key;
+  int skips = 0;
   while (true) {
     Job job;
     {
@@ -52,9 +62,21 @@ void Executor::WorkerLoop() {
       if (queue_.empty()) {
         return;  // stop requested and nothing left to drain
       }
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      size_t pick = 0;
+      if (!last_key.empty() && skips < kMaxConsecutiveSkips) {
+        const size_t scan = std::min(queue_.size(), kAffinityScan);
+        for (size_t i = 0; i < scan; ++i) {
+          if (queue_[i].spec.use_snapshot && queue_[i].spec.key == last_key) {
+            pick = i;
+            break;
+          }
+        }
+      }
+      skips = pick == 0 ? 0 : skips + 1;
+      job = std::move(queue_[pick]);
+      queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(pick));
     }
+    last_key = job.spec.use_snapshot ? job.spec.key : std::string();
     job.promise.set_value(runtime_->Invoke(job.spec));
   }
 }

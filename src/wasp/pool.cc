@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "src/base/log.h"
 #include "src/wasp/abi.h"
 
 namespace wasp {
@@ -46,7 +47,7 @@ size_t Pool::HomeShard() const {
   return std::hash<std::thread::id>{}(std::this_thread::get_id()) % shards_.size();
 }
 
-void Pool::CleanShell(vkvm::Vm* vm) {
+void Pool::CleanShell(vkvm::Vm* vm, bool charge_inline) {
   // Zero only the pages this virtine dirtied (real work, proportional to
   // use), reset the vCPU, and restart cycle accounting for the next tenant.
   // The EPT first-touch map is deliberately retained: reusing the mappings
@@ -54,10 +55,11 @@ void Pool::CleanShell(vkvm::Vm* vm) {
   const uint64_t zeroed = vm->memory().ZeroDirtyPages();
   vm->ResetVcpu(kImageLoadAddr);
   vm->ResetAccounting();
-  if (options_.mode == CleanMode::kSync) {
-    // Synchronous cleaning sits on the provisioning critical path ("Wasp+C");
-    // charge its modeled memset cost to the shell's next tenant.  The async
-    // cleaner crew ("Wasp+CA") absorbs it off the critical path instead.
+  if (charge_inline) {
+    // Cleaning on a critical path (sync release, or an inline reclaim of an
+    // affine shell during acquire) charges its modeled memset cost to the
+    // shell's next tenant.  The async cleaner crew ("Wasp+CA") absorbs it
+    // off the critical path instead.
     vm->AddHostCycles(static_cast<uint64_t>(
         static_cast<double>(zeroed) / vm->config().host_costs.memcpy_bytes_per_cycle));
   }
@@ -65,18 +67,106 @@ void Pool::CleanShell(vkvm::Vm* vm) {
   stats_.bytes_zeroed.fetch_add(zeroed, std::memory_order_relaxed);
 }
 
-std::unique_ptr<vkvm::Vm> Pool::Acquire(const vkvm::VmConfig& config, bool* from_pool) {
-  stats_.acquires.fetch_add(1, std::memory_order_relaxed);
-  // Home shard first, then steal from siblings; shard locks are never nested.
+std::unique_ptr<vkvm::Vm> Pool::PopFree(Shard& shard, uint64_t mem_size) {
+  auto it = shard.free.find(mem_size);
+  if (it == shard.free.end() || it->second.empty()) {
+    return nullptr;
+  }
+  std::unique_ptr<vkvm::Vm> vm = std::move(it->second.back());
+  it->second.pop_back();
+  return vm;
+}
+
+std::unique_ptr<vkvm::Vm> Pool::PopAffine(Shard& shard, uint64_t generation,
+                                          uint64_t mem_size) {
+  auto it = shard.affine.find(generation);
+  if (it == shard.affine.end()) {
+    return nullptr;
+  }
+  auto& shells = it->second;
+  for (size_t i = shells.size(); i-- > 0;) {
+    if (shells[i]->config().mem_size != mem_size) {
+      continue;
+    }
+    std::unique_ptr<vkvm::Vm> vm = std::move(shells[i]);
+    shells.erase(shells.begin() + static_cast<ptrdiff_t>(i));
+    if (shells.empty()) {
+      shard.affine.erase(it);
+    }
+    affine_count_.fetch_sub(1, std::memory_order_relaxed);
+    return vm;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<vkvm::Vm> Pool::PopAnyAffine(Shard& shard, uint64_t mem_size) {
+  for (auto it = shard.affine.begin(); it != shard.affine.end(); ++it) {
+    auto& shells = it->second;
+    for (size_t i = shells.size(); i-- > 0;) {
+      if (shells[i]->config().mem_size != mem_size) {
+        continue;
+      }
+      std::unique_ptr<vkvm::Vm> vm = std::move(shells[i]);
+      shells.erase(shells.begin() + static_cast<ptrdiff_t>(i));
+      if (shells.empty()) {
+        shard.affine.erase(it);
+      }
+      affine_count_.fetch_sub(1, std::memory_order_relaxed);
+      return vm;
+    }
+  }
+  return nullptr;
+}
+
+std::unique_ptr<vkvm::Vm> Pool::AcquireClean(const vkvm::VmConfig& config, bool* from_pool) {
   const size_t home = HomeShard();
+  // Opportunistic pass: the home shard blocks (it is this thread's own
+  // stripe), sibling probes use try_lock so a contended sibling is skipped
+  // instead of convoying the caller behind its lock holder.
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[(home + i) % shards_.size()];
+    std::unique_lock<std::mutex> lock(shard.mu, std::defer_lock);
+    if (i == 0) {
+      lock.lock();
+    } else if (!lock.try_lock()) {
+      continue;
+    }
+    if (auto vm = PopFree(shard, config.mem_size)) {
+      stats_.pool_hits.fetch_add(1, std::memory_order_relaxed);
+      if (from_pool != nullptr) {
+        *from_pool = true;
+      }
+      return vm;
+    }
+  }
+  // Blocking fallback: before paying vm_create, make sure no shard actually
+  // holds a free shell (a try_lock skip above is not proof of emptiness),
+  // then reclaim a snapshot-affine shell — it is dirty, so clean it first.
   for (size_t i = 0; i < shards_.size(); ++i) {
     Shard& shard = *shards_[(home + i) % shards_.size()];
     std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.free.find(config.mem_size);
-    if (it != shard.free.end() && !it->second.empty()) {
-      std::unique_ptr<vkvm::Vm> vm = std::move(it->second.back());
-      it->second.pop_back();
+    if (auto vm = PopFree(shard, config.mem_size)) {
       stats_.pool_hits.fetch_add(1, std::memory_order_relaxed);
+      if (from_pool != nullptr) {
+        *from_pool = true;
+      }
+      return vm;
+    }
+  }
+  for (size_t i = 0;
+       affine_count_.load(std::memory_order_relaxed) > 0 && i < shards_.size(); ++i) {
+    std::unique_ptr<vkvm::Vm> vm;
+    {
+      Shard& shard = *shards_[(home + i) % shards_.size()];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      vm = PopAnyAffine(shard, config.mem_size);
+    }
+    if (vm != nullptr) {
+      // Clean outside the shard lock: zeroing megabytes under a stripe lock
+      // would convoy every other thread hashing to this shard.
+      CleanShell(vm.get(), /*charge_inline=*/true);
+      stats_.pool_hits.fetch_add(1, std::memory_order_relaxed);
+      stats_.affine_reclaims.fetch_add(1, std::memory_order_relaxed);
       if (from_pool != nullptr) {
         *from_pool = true;
       }
@@ -88,6 +178,49 @@ std::unique_ptr<vkvm::Vm> Pool::Acquire(const vkvm::VmConfig& config, bool* from
     *from_pool = false;
   }
   return vkvm::Vm::Create(config);
+}
+
+std::unique_ptr<vkvm::Vm> Pool::Acquire(const vkvm::VmConfig& config, bool* from_pool) {
+  stats_.acquires.fetch_add(1, std::memory_order_relaxed);
+  return AcquireClean(config, from_pool);
+}
+
+std::unique_ptr<vkvm::Vm> Pool::AcquireAffine(const vkvm::VmConfig& config,
+                                              uint64_t generation, bool* affine_hit,
+                                              bool* from_pool) {
+  stats_.acquires.fetch_add(1, std::memory_order_relaxed);
+  if (affine_hit != nullptr) {
+    *affine_hit = false;
+  }
+  if (generation != 0 && affine_count_.load(std::memory_order_relaxed) > 0) {
+    const size_t home = HomeShard();
+    // Same two-pass shape as the clean path: home shard blocking + sibling
+    // try_lock probes, then one blocking sweep so a momentarily contended
+    // sibling cannot force a full restore while the right shell exists.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (size_t i = 0; i < shards_.size(); ++i) {
+        Shard& shard = *shards_[(home + i) % shards_.size()];
+        std::unique_lock<std::mutex> lock(shard.mu, std::defer_lock);
+        if (pass == 1 || i == 0) {
+          lock.lock();
+        } else if (!lock.try_lock()) {
+          continue;
+        }
+        if (auto vm = PopAffine(shard, generation, config.mem_size)) {
+          stats_.pool_hits.fetch_add(1, std::memory_order_relaxed);
+          stats_.affine_hits.fetch_add(1, std::memory_order_relaxed);
+          if (affine_hit != nullptr) {
+            *affine_hit = true;
+          }
+          if (from_pool != nullptr) {
+            *from_pool = true;
+          }
+          return vm;
+        }
+      }
+    }
+  }
+  return AcquireClean(config, from_pool);
 }
 
 void Pool::ParkClean(std::unique_ptr<vkvm::Vm> vm, size_t shard) {
@@ -103,7 +236,7 @@ void Pool::Release(std::unique_ptr<vkvm::Vm> vm) {
       // Drop it: the host kernel reclaims the context.
       return;
     case CleanMode::kSync: {
-      CleanShell(vm.get());
+      CleanShell(vm.get(), /*charge_inline=*/true);
       ParkClean(std::move(vm), HomeShard());
       return;
     }
@@ -124,6 +257,27 @@ void Pool::Release(std::unique_ptr<vkvm::Vm> vm) {
       return;
     }
   }
+}
+
+void Pool::ReleaseAffine(std::unique_ptr<vkvm::Vm> vm, uint64_t generation) {
+  VB_CHECK(generation != 0, "ReleaseAffine requires a snapshot generation");
+  stats_.releases.fetch_add(1, std::memory_order_relaxed);
+  if (options_.mode == CleanMode::kNone) {
+    // No pooling: drop the shell like a plain release would.
+    return;
+  }
+  // The whole point: no zeroing.  The snapshot plus the epoch-dirty delta
+  // fully describe this shell's memory; record the delta size (the next
+  // restore's work) and park.  Accounting restarts for the next tenant; the
+  // vCPU is reset by RestoreArch on the next restore.
+  stats_.affine_parks.fetch_add(1, std::memory_order_relaxed);
+  stats_.delta_pages.fetch_add(vm->memory().CountEpochDirtyPages(),
+                               std::memory_order_relaxed);
+  vm->ResetAccounting();
+  const size_t home = HomeShard();
+  std::lock_guard<std::mutex> lock(shards_[home]->mu);
+  shards_[home]->affine[generation].push_back(std::move(vm));
+  affine_count_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::unique_ptr<vkvm::Vm> Pool::PopDirty(size_t home, size_t* source_shard) {
@@ -158,7 +312,7 @@ void Pool::CleanerLoop(size_t home) {
       cleaner_cv_.wait(lock, [&] { return stop_.load() || dirty_count_.load() > 0; });
       continue;
     }
-    CleanShell(vm.get());
+    CleanShell(vm.get(), /*charge_inline=*/false);
     // Park the clean shell back on the shard it was released to, preserving
     // the releasing thread's locality for its next acquire.
     ParkClean(std::move(vm), source);
@@ -208,6 +362,10 @@ PoolStats Pool::stats() const {
   out.releases = stats_.releases.load(std::memory_order_relaxed);
   out.cleans = stats_.cleans.load(std::memory_order_relaxed);
   out.bytes_zeroed = stats_.bytes_zeroed.load(std::memory_order_relaxed);
+  out.affine_hits = stats_.affine_hits.load(std::memory_order_relaxed);
+  out.affine_parks = stats_.affine_parks.load(std::memory_order_relaxed);
+  out.affine_reclaims = stats_.affine_reclaims.load(std::memory_order_relaxed);
+  out.delta_pages = stats_.delta_pages.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -228,6 +386,29 @@ size_t Pool::TotalFreeShells() const {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     for (const auto& [size, shells] : shard->free) {
+      n += shells.size();
+    }
+  }
+  return n;
+}
+
+size_t Pool::AffineShells(uint64_t generation) const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    auto it = shard->affine.find(generation);
+    if (it != shard->affine.end()) {
+      n += it->second.size();
+    }
+  }
+  return n;
+}
+
+size_t Pool::TotalAffineShells() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [generation, shells] : shard->affine) {
       n += shells.size();
     }
   }

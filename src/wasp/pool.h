@@ -1,4 +1,5 @@
-// The virtine shell pool (Section 5.2, Figure 6), scaled out for multicore.
+// The virtine shell pool (Section 5.2, Figure 6), scaled out for multicore
+// and made snapshot-aware.
 //
 // Creating a hardware VM context is expensive (host kernel allocation of
 // VMCS/VMCB state, EPT construction).  Wasp therefore keeps released VM
@@ -9,12 +10,26 @@
 // takes cleaning off the acquire/release critical path and brings shell
 // provisioning within a few percent of a bare vmrun.
 //
+// Snapshot affinity: a shell that just ran a snapshot-backed virtine still
+// holds that snapshot's memory image, deviating only in the pages the run
+// dirtied (tracked by GuestMemory's epoch bitmap).  ReleaseAffine parks such
+// a shell *without zeroing it*, tagged by snapshot generation; a later
+// AcquireAffine for the same generation gets it back and repairs just the
+// delta — warm restores become O(working set) instead of O(image), and the
+// release-side zeroing of those same pages disappears entirely.  Isolation
+// is preserved: the repaired shell is byte-identical to a full restore, and
+// any *other* consumer (a plain Acquire, or a keyed Acquire for a different
+// generation) only ever sees an affine shell after it has been fully
+// cleaned (reclaimed).
+//
 // Concurrency model: the pool is lock-striped into N shards, each with its
-// own mutex, free lists, and dirty queue.  A thread's Acquire/Release lands
-// on its home shard (stable hash of the thread id), so concurrent invokers
-// on different threads never contend on a global lock.  An acquire that
-// misses its home shard steals a clean shell from sibling shards before
-// falling back to a fresh create, and the async cleaner crew steals dirty
+// own mutex, free lists, affine lists, and dirty queue.  A thread's
+// Acquire/Release lands on its home shard (stable hash of the thread id),
+// so concurrent invokers on different threads never contend on a global
+// lock.  An acquire that misses its home shard probes sibling shards with
+// try_lock — a contended sibling is skipped, not convoyed on — and only
+// falls back to a blocking sweep (then a fresh create) when the
+// opportunistic pass finds nothing.  The async cleaner crew steals dirty
 // shells from sibling shards the same way, so no shell is stranded behind a
 // busy shard.  Stats are plain atomics, aggregated on read.
 #ifndef SRC_WASP_POOL_H_
@@ -42,11 +57,16 @@ enum class CleanMode {
 
 struct PoolStats {
   uint64_t acquires = 0;
-  uint64_t pool_hits = 0;       // shells served from a free list
+  uint64_t pool_hits = 0;       // shells served from a free or affine list
   uint64_t fresh_creates = 0;   // shells created from scratch
   uint64_t releases = 0;
   uint64_t cleans = 0;
   uint64_t bytes_zeroed = 0;
+  // Snapshot-affinity counters.
+  uint64_t affine_hits = 0;      // keyed acquires served with the snapshot resident
+  uint64_t affine_parks = 0;     // releases that skipped zeroing (snapshot-backed)
+  uint64_t affine_reclaims = 0;  // affine shells cleaned for a non-affine consumer
+  uint64_t delta_pages = 0;      // epoch-dirty pages recorded across affine parks
 };
 
 struct PoolOptions {
@@ -71,8 +91,22 @@ class Pool {
   // shell when available.  `*from_pool` (optional) reports which path ran.
   std::unique_ptr<vkvm::Vm> Acquire(const vkvm::VmConfig& config, bool* from_pool = nullptr);
 
+  // Keyed acquire: prefers a shard-local shell that already holds snapshot
+  // `generation` resident (then steals one from a sibling), falling back to
+  // a clean shell and finally a fresh create.  `*affine_hit` reports whether
+  // the returned shell holds the snapshot (caller may delta-restore).
+  std::unique_ptr<vkvm::Vm> AcquireAffine(const vkvm::VmConfig& config, uint64_t generation,
+                                          bool* affine_hit, bool* from_pool = nullptr);
+
   // Returns a shell to the pool (cleaning per the pool's mode).
   void Release(std::unique_ptr<vkvm::Vm> vm);
+
+  // Parks a snapshot-backed shell *without zeroing*: snapshot `generation`
+  // plus the shell's epoch-dirty delta fully describe its memory, so a later
+  // AcquireAffine(generation) can delta-restore it.  The post-restore dirty
+  // delta is recorded in stats (delta_pages).  Never hand a shell here whose
+  // memory deviates from the snapshot outside its epoch bitmap.
+  void ReleaseAffine(std::unique_ptr<vkvm::Vm> vm, uint64_t generation);
 
   // Blocks until the cleaner crew has drained every dirty queue (benchmark
   // barrier).
@@ -88,6 +122,10 @@ class Pool {
   size_t FreeShells(uint64_t mem_size) const;
   // Clean shells of any size across all shards (conservation checks).
   size_t TotalFreeShells() const;
+  // Parked snapshot-affine shells for `generation` across all shards.
+  size_t AffineShells(uint64_t generation) const;
+  // Parked snapshot-affine shells of any generation (conservation checks).
+  size_t TotalAffineShells() const;
 
   CleanMode mode() const { return options_.mode; }
   size_t shard_count() const { return shards_.size(); }
@@ -96,16 +134,25 @@ class Pool {
  private:
   struct Shard {
     mutable std::mutex mu;
-    std::map<uint64_t, std::vector<std::unique_ptr<vkvm::Vm>>> free;  // by mem size
+    std::map<uint64_t, std::vector<std::unique_ptr<vkvm::Vm>>> free;    // by mem size
+    std::map<uint64_t, std::vector<std::unique_ptr<vkvm::Vm>>> affine;  // by snapshot generation
     std::deque<std::unique_ptr<vkvm::Vm>> dirty;
   };
 
   // The calling thread's home shard (stable across the thread's lifetime).
   size_t HomeShard() const;
-  // Zeroes dirty pages and resets vCPU/accounting; the modeled cycle cost of
-  // the zeroing lands on the *next* user via the clean path being off the
-  // acquire path (async) or on release (sync).
-  void CleanShell(vkvm::Vm* vm);
+  // Zeroes dirty pages and resets vCPU/accounting.  `charge_inline` charges
+  // the modeled memset cost to the shell (sync release and inline affine
+  // reclaims sit on a critical path; the async cleaner crew absorbs it off
+  // the critical path instead).
+  void CleanShell(vkvm::Vm* vm, bool charge_inline);
+  // Lock-held helpers; each assumes `shard.mu` is held by the caller.
+  std::unique_ptr<vkvm::Vm> PopFree(Shard& shard, uint64_t mem_size);
+  std::unique_ptr<vkvm::Vm> PopAffine(Shard& shard, uint64_t generation, uint64_t mem_size);
+  std::unique_ptr<vkvm::Vm> PopAnyAffine(Shard& shard, uint64_t mem_size);
+  // The clean-shell acquire path shared by Acquire and AcquireAffine's
+  // fallback (does not bump the acquires counter).
+  std::unique_ptr<vkvm::Vm> AcquireClean(const vkvm::VmConfig& config, bool* from_pool);
   // Pops one dirty shell, scanning shards from `home` (work-stealing).
   // Transfers it to "cleaning in flight" before the dirty count drops so
   // DrainCleaner never observes a false drain.
@@ -124,6 +171,11 @@ class Pool {
   std::condition_variable drain_cv_;    // DrainCleaner sleeps here
   std::atomic<int64_t> dirty_count_{0};
   std::atomic<int64_t> cleaning_in_flight_{0};
+  // Parked affine shells across all shards (maintained by ReleaseAffine and
+  // the Pop* helpers).  A zero read lets acquires skip the affine sweeps
+  // entirely — the common case when nothing is parked — instead of blocking
+  // through every shard lock just to find empty lists.
+  std::atomic<int64_t> affine_count_{0};
   std::atomic<bool> stop_{false};
   std::vector<std::thread> cleaners_;
 
@@ -134,6 +186,10 @@ class Pool {
     std::atomic<uint64_t> releases{0};
     std::atomic<uint64_t> cleans{0};
     std::atomic<uint64_t> bytes_zeroed{0};
+    std::atomic<uint64_t> affine_hits{0};
+    std::atomic<uint64_t> affine_parks{0};
+    std::atomic<uint64_t> affine_reclaims{0};
+    std::atomic<uint64_t> delta_pages{0};
   };
   mutable AtomicStats stats_;
 };

@@ -48,43 +48,40 @@ vkvm::VmConfig Runtime::MakeVmConfig(uint64_t mem_size) const {
   return cfg;
 }
 
-void Runtime::RestoreSnapshot(vkvm::Vm& vm, const Snapshot& snap) {
-  // Replay dirty pages with memcpy; this is the "simple snapshotting
-  // strategy" whose cost is bounded by memcpy bandwidth (Figure 12).
-  // `snap` is immutable and reference-held by the caller, so this copy runs
-  // without any SnapshotStore lock: concurrent restores of the same key
-  // proceed in parallel.
-  for (const Snapshot::Page& page : snap.pages) {
-    vbase::Status st =
-        vm.memory().Write(page.index << vhw::kPageBits, page.bytes.data(), page.bytes.size());
-    VB_CHECK(st.ok(), "snapshot restore write failed: " << st.ToString());
-  }
+void Runtime::RestoreSnapshot(vkvm::Vm& vm, const Snapshot& snap, bool affine,
+                              InvokeStats* stats) {
+  // Lay the snapshot into the shell.  A cold/foreign shell replays every
+  // extent — the "simple snapshotting strategy" whose cost is bounded by
+  // memcpy bandwidth (Figure 12), now a handful of large memcpys.  An
+  // affine shell already holds the snapshot and only repairs the pages the
+  // previous tenant dirtied, so warm restore cost follows the working set,
+  // not the image.  `snap` is immutable and reference-held by the caller,
+  // so either copy runs without any SnapshotStore lock: concurrent restores
+  // of the same key proceed in parallel.
+  const uint64_t copied =
+      affine ? RestoreDeltaInto(snap, &vm.memory()) : RestoreFullInto(snap, &vm.memory());
   vm.cpu().RestoreArch(snap.cpu);
   vm.AddHostCycles(static_cast<uint64_t>(
-      static_cast<double>(snap.byte_size()) /
-      vm.config().host_costs.memcpy_bytes_per_cycle));
+      static_cast<double>(copied) / vm.config().host_costs.memcpy_bytes_per_cycle));
+  // Memory now equals the snapshot exactly: start the epoch whose dirty set
+  // is the next delta restore's work list.
+  vm.memory().BeginEpoch();
+  stats->restored_snapshot = true;
+  stats->affine_restore = affine;
+  stats->restored_bytes = copied;
 }
 
 SnapshotRef Runtime::TakeSnapshot(vkvm::Vm& vm) {
-  auto snap = std::make_shared<Snapshot>();
-  snap->cpu = vm.cpu().state();
-  snap->mem_size = vm.memory().size();
-  const uint64_t pages = vm.memory().NumPages();
-  for (uint64_t p = 0; p < pages; ++p) {
-    if (!vm.memory().PageDirty(p)) {
-      continue;
-    }
-    Snapshot::Page page;
-    page.index = p;
-    page.bytes.resize(vhw::kPageSize);
-    std::memcpy(page.bytes.data(), vm.memory().data() + (p << vhw::kPageBits), vhw::kPageSize);
-    snap->pages.push_back(std::move(page));
-  }
+  SnapshotRef snap = CaptureSnapshot(vm.memory(), vm.cpu().state());
   // Taking the snapshot is itself a copy; charge it (the paper's Figure 11
   // snapshot bars "include the overhead for taking the initial snapshot").
   vm.AddHostCycles(static_cast<uint64_t>(
       static_cast<double>(snap->byte_size()) /
       vm.config().host_costs.memcpy_bytes_per_cycle));
+  // The shell holds the snapshot verbatim at this instant: begin its epoch
+  // so the rest of this run is tracked as the delta, and release can park
+  // the shell snapshot-affine instead of zeroing it.
+  vm.memory().BeginEpoch();
   return snap;
 }
 
@@ -120,8 +117,17 @@ vbase::Result<int64_t> Runtime::Dispatch(uint16_t port, HypercallFrame& frame) {
       frame.snapshot_taken = true;
       if (frame.spec.use_snapshot && !frame.spec.key.empty() &&
           snapshots_.Find(frame.spec.key) == nullptr) {
-        snapshots_.Put(frame.spec.key, TakeSnapshot(vm));
-        frame.outcome.stats.took_snapshot = true;
+        SnapshotRef snap = TakeSnapshot(vm);
+        // Concurrent cold runs race this publish; only the winner's shell
+        // parks snapshot-affine.  A loser's shell holds its *own* capture,
+        // not the winner's, so it must go back through the cleaning path —
+        // and under a generation the store never published, it would sit
+        // stranded in the affine lists until reclaimed.
+        SnapshotRef winner = snapshots_.PutIfAbsent(frame.spec.key, snap);
+        if (winner == snap) {
+          frame.resident_generation = snap->generation;
+          frame.outcome.stats.took_snapshot = true;
+        }
       }
       return 0;
     }
@@ -252,19 +258,36 @@ RunOutcome Runtime::Invoke(const VirtineSpec& spec) {
     snap = snapshots_.Find(spec.key);
   }
 
-  // --- Acquire a shell (Figure 6: pooled reuse or fresh create) ----------
+  // --- Acquire a shell (Figure 6: pooled reuse or fresh create).  With a
+  // snapshot in hand, the keyed path prefers a shell that already holds it
+  // resident (the pool's snapshot-affine lists). --------------------------
   vbase::WallTimer acquire_timer;
   bool from_pool = false;
-  std::unique_ptr<vkvm::Vm> vm = pool_.Acquire(MakeVmConfig(spec.mem_size), &from_pool);
+  bool affine = false;
+  std::unique_ptr<vkvm::Vm> vm;
+  if (snap != nullptr && options_.snapshot_affinity) {
+    vm = pool_.AcquireAffine(MakeVmConfig(spec.mem_size), snap->generation, &affine,
+                             &from_pool);
+  } else {
+    vm = pool_.Acquire(MakeVmConfig(spec.mem_size), &from_pool);
+  }
   outcome.stats.from_pool = from_pool;
   outcome.stats.acquire_ns = acquire_timer.ElapsedNanos();
 
   // --- Load state: snapshot restore or image boot ------------------------
   vbase::WallTimer load_timer;
   if (snap != nullptr && snap->mem_size <= vm->memory().size()) {
-    RestoreSnapshot(*vm, *snap);
-    outcome.stats.restored_snapshot = true;
+    RestoreSnapshot(*vm, *snap, affine, &outcome.stats);
   } else {
+    if (affine) {
+      // The affine shell matched by generation but the snapshot cannot be
+      // laid into it (mem_size mismatch); scrub it back to a clean shell
+      // before taking the boot path.
+      vm->memory().ZeroDirtyPages();
+      vm->ResetVcpu(kImageLoadAddr);
+      vm->ResetAccounting();
+      affine = false;
+    }
     snap = nullptr;
     const visa::Image& image = *spec.image;
     vbase::Status st = vm->LoadBlob(image.load_addr, image.bytes.data(), image.bytes.size());
@@ -366,8 +389,22 @@ RunOutcome Runtime::Invoke(const VirtineSpec& spec) {
   outcome.stats.io_exits = vm->cpu().io_exits();
   outcome.stats.insns = vm->cpu().insns_retired();
 
-  // --- Release the shell for cleaning and reuse ---------------------------
-  pool_.Release(std::move(vm));
+  // --- Release the shell: a snapshot-backed run parks it snapshot-affine
+  // (no zeroing; the epoch bitmap records the delta for the next restore),
+  // anything else goes back through the cleaning path. --------------------
+  uint64_t park_generation = 0;
+  if (options_.snapshot_affinity && outcome.status.ok()) {
+    if (outcome.stats.restored_snapshot && snap != nullptr) {
+      park_generation = snap->generation;
+    } else if (frame.resident_generation != 0) {
+      park_generation = frame.resident_generation;
+    }
+  }
+  if (park_generation != 0) {
+    pool_.ReleaseAffine(std::move(vm), park_generation);
+  } else {
+    pool_.Release(std::move(vm));
+  }
   outcome.stats.total_ns = total_timer.ElapsedNanos();
   return outcome;
 }

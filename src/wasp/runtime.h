@@ -48,6 +48,12 @@ struct InvokeStats {
   uint64_t insns = 0;          // guest instructions retired
   bool from_pool = false;      // shell came from the pool
   bool restored_snapshot = false;
+  // The restore ran on a snapshot-affine shell and repaired only the pages
+  // the previous tenant dirtied (delta restore) instead of the whole image.
+  bool affine_restore = false;
+  // Bytes the restore actually copied/zeroed: the full snapshot for a cold
+  // shell, just the dirty delta for an affine one.
+  uint64_t restored_bytes = 0;
   bool took_snapshot = false;
   uint64_t acquire_ns = 0;     // wall: shell acquisition
   uint64_t load_ns = 0;        // wall: image load or snapshot restore
@@ -83,6 +89,10 @@ struct HypercallFrame {
   // called more than once").
   bool snapshot_taken = false;
   bool data_fetched = false;
+  // Generation of the snapshot this invocation left resident in the shell
+  // (set when this run's snapshot hypercall captured and published one); the
+  // release path parks the shell snapshot-affine under it.
+  uint64_t resident_generation = 0;
   // Per-invocation fd table for the file hypercalls.
   FdTable fds;
 
@@ -138,6 +148,11 @@ struct RuntimeOptions {
   // Worker threads of the executor backing InvokeAsync (0 = pick from
   // hardware concurrency).
   int async_workers = 0;
+  // Snapshot-affine shell reuse: release a snapshot-backed shell unzeroed
+  // and delta-restore it on the next invocation of the same snapshot.  Off,
+  // every warm restore pays the full image copy (the paper's simple
+  // snapshotting strategy) — kept as a knob for A/B benchmarking.
+  bool snapshot_affinity = true;
 };
 
 class Executor;
@@ -170,9 +185,13 @@ class Runtime {
   vkvm::VmConfig MakeVmConfig(uint64_t mem_size) const;
 
  private:
-  // Restores `snap` into a clean shell; charges modeled memcpy cost.
-  void RestoreSnapshot(vkvm::Vm& vm, const Snapshot& snap);
-  // Captures a snapshot of the VM's current state (dirty pages + CPU).
+  // Lays `snap` into the shell and begins its delta epoch; charges modeled
+  // memcpy cost for the bytes actually moved.  `affine` selects the delta
+  // path (repair only epoch-dirty pages) over the full extent replay.
+  void RestoreSnapshot(vkvm::Vm& vm, const Snapshot& snap, bool affine,
+                       InvokeStats* stats);
+  // Captures a snapshot of the VM's current state (dirty pages + CPU) and
+  // begins the shell's delta epoch at the capture point.
   SnapshotRef TakeSnapshot(vkvm::Vm& vm);
   // Dispatches one hypercall; returns the r0 result or an error.
   vbase::Result<int64_t> Dispatch(uint16_t port, HypercallFrame& frame);

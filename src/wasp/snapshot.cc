@@ -1,0 +1,96 @@
+#include "src/wasp/snapshot.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+#include "src/base/log.h"
+
+namespace wasp {
+namespace {
+
+std::atomic<uint64_t> g_generation{1};
+
+// A page of zeros for repairing delta pages the snapshot never captured.
+constexpr uint8_t kZeroPage[vhw::kPageSize] = {};
+
+}  // namespace
+
+uint64_t NextSnapshotGeneration() { return g_generation.fetch_add(1); }
+
+const uint8_t* Snapshot::FindPage(uint64_t page) const {
+  // Extents are sorted by first_page: binary-search the run containing it.
+  auto it = std::upper_bound(
+      extents.begin(), extents.end(), page,
+      [](uint64_t p, const Extent& e) { return p < e.first_page; });
+  if (it == extents.begin()) {
+    return nullptr;
+  }
+  --it;
+  if (page >= it->first_page + it->page_count) {
+    return nullptr;
+  }
+  return bytes.data() + it->byte_offset + ((page - it->first_page) << vhw::kPageBits);
+}
+
+SnapshotRef CaptureSnapshot(const vhw::GuestMemory& mem, const vhw::ArchState& cpu) {
+  auto snap = std::make_shared<Snapshot>();
+  snap->cpu = cpu;
+  snap->mem_size = mem.size();
+  snap->generation = NextSnapshotGeneration();
+  const uint64_t pages = mem.NumPages();
+  // Size the buffer up front so the copy loop never reallocates.
+  snap->bytes.resize(mem.CountDirtyPages() << vhw::kPageBits);
+  uint64_t offset = 0;
+  uint64_t p = 0;
+  while (p < pages) {
+    if (!mem.PageDirty(p)) {
+      ++p;
+      continue;
+    }
+    uint64_t run_end = p + 1;
+    while (run_end < pages && mem.PageDirty(run_end)) {
+      ++run_end;
+    }
+    Snapshot::Extent extent;
+    extent.first_page = p;
+    extent.page_count = run_end - p;
+    extent.byte_offset = offset;
+    const uint64_t nbytes = extent.page_count << vhw::kPageBits;
+    std::memcpy(snap->bytes.data() + offset, mem.data() + (p << vhw::kPageBits), nbytes);
+    snap->extents.push_back(extent);
+    offset += nbytes;
+    p = run_end;
+  }
+  VB_CHECK(offset == snap->bytes.size(), "snapshot capture sizing mismatch");
+  return snap;
+}
+
+uint64_t RestoreFullInto(const Snapshot& snap, vhw::GuestMemory* mem) {
+  for (const Snapshot::Extent& extent : snap.extents) {
+    // Write marks the pages dirty (so a later pool clean re-zeroes them) and
+    // prefaults their EPT regions (the hypervisor's copy populates mappings
+    // before the guest runs).
+    vbase::Status st = mem->Write(extent.first_page << vhw::kPageBits,
+                                  snap.bytes.data() + extent.byte_offset,
+                                  extent.page_count << vhw::kPageBits);
+    VB_CHECK(st.ok(), "snapshot restore write failed: " << st.ToString());
+  }
+  return snap.byte_size();
+}
+
+uint64_t RestoreDeltaInto(const Snapshot& snap, vhw::GuestMemory* mem) {
+  // Repair only the pages written since the snapshot was laid down: copy
+  // captured pages back, zero pages the snapshot never held (one tenant's
+  // writes outside the image must not survive into the next invocation).
+  const std::vector<uint64_t> pages = mem->CollectDirtySince();
+  for (const uint64_t page : pages) {
+    const uint8_t* src = snap.FindPage(page);
+    vbase::Status st = mem->Write(page << vhw::kPageBits, src != nullptr ? src : kZeroPage,
+                                  vhw::kPageSize);
+    VB_CHECK(st.ok(), "snapshot delta restore write failed: " << st.ToString());
+  }
+  return static_cast<uint64_t>(pages.size()) << vhw::kPageBits;
+}
+
+}  // namespace wasp

@@ -7,36 +7,83 @@
 // the paper measures at memcpy bandwidth in Figure 12 — and resumes the vCPU
 // right after the snapshot hypercall, skipping boot and runtime init.
 //
+// Layout: captured pages are stored as one contiguous byte buffer plus a
+// run-length *extent* table (first page, page count, byte offset).  Dirty
+// pages cluster (the image is one run; the stack another), so a snapshot is
+// typically a handful of extents, and both capture and full restore execute
+// a few large memcpys instead of thousands of page-sized ones — no per-page
+// heap allocation, no pointer chase.
+//
+// Delta restore: a shell that already holds a snapshot resident (the pool's
+// snapshot-affine path) only needs the pages written since the snapshot was
+// laid down repaired — GuestMemory's epoch bitmap names them, and
+// RestoreDeltaInto re-copies captured pages / re-zeroes uncaptured ones, so
+// a warm restore costs O(working set) rather than O(image).
+//
 // Snapshots are immutable once taken and shared via shared_ptr: restores
 // never mutate them, so one virtine's post-snapshot writes cannot leak into
-// the next restore (isolation objective, Section 3.3).
+// the next restore (isolation objective, Section 3.3).  Every capture gets a
+// process-unique `generation`; the pool uses it to prove a parked shell
+// holds exactly this snapshot before taking the delta path.
 #ifndef SRC_WASP_SNAPSHOT_H_
 #define SRC_WASP_SNAPSHOT_H_
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "src/vhw/cpu.h"
+#include "src/vhw/mem.h"
 
 namespace wasp {
 
 struct Snapshot {
-  struct Page {
-    uint64_t index;                 // guest-physical page number
-    std::vector<uint8_t> bytes;     // kPageSize bytes
+  // A run of `page_count` consecutive captured guest-physical pages starting
+  // at `first_page`, stored at `byte_offset` within `bytes`.
+  struct Extent {
+    uint64_t first_page = 0;
+    uint64_t page_count = 0;
+    uint64_t byte_offset = 0;
   };
+
   vhw::ArchState cpu;
   uint64_t mem_size = 0;
-  std::vector<Page> pages;
+  // Process-unique capture id (never 0); keys the pool's affine shell lists.
+  uint64_t generation = 0;
+  std::vector<Extent> extents;  // sorted by first_page, non-overlapping
+  std::vector<uint8_t> bytes;   // concatenated extent payloads
 
-  uint64_t byte_size() const { return pages.size() * vhw::kPageSize; }
+  uint64_t byte_size() const { return bytes.size(); }
+  uint64_t page_count() const { return bytes.size() >> vhw::kPageBits; }
+
+  // Pointer to the captured content of `page`, or nullptr when the page was
+  // clean at capture time (i.e. it is all-zero in the snapshot's view).
+  const uint8_t* FindPage(uint64_t page) const;
 };
 
 using SnapshotRef = std::shared_ptr<const Snapshot>;
+
+// Returns a fresh process-unique snapshot generation (>= 1).
+uint64_t NextSnapshotGeneration();
+
+// Captures `mem`'s dirty pages (extent-coalesced) plus `cpu` into a new
+// snapshot with a fresh generation.
+SnapshotRef CaptureSnapshot(const vhw::GuestMemory& mem, const vhw::ArchState& cpu);
+
+// Replays every extent into `mem` (which the caller guarantees is clean /
+// all-zero outside the extents).  Marks the written pages dirty and
+// prefaults their EPT regions.  Returns the bytes copied (== byte_size()).
+uint64_t RestoreFullInto(const Snapshot& snap, vhw::GuestMemory* mem);
+
+// Delta restore for a shell whose memory already equals `snap` except for
+// the pages written since the last BeginEpoch: repairs exactly those pages
+// (copying captured content back, zeroing pages the snapshot never held) and
+// returns the bytes touched.  The caller begins a new epoch afterwards.
+uint64_t RestoreDeltaInto(const Snapshot& snap, vhw::GuestMemory* mem);
 
 // Keyed snapshot cache: one snapshot per virtine image key ("the first
 // execution of a virtine must still go through the initialization process
@@ -58,6 +105,16 @@ class SnapshotStore {
   void Put(const std::string& key, SnapshotRef snap) {
     std::unique_lock<std::shared_mutex> lock(mu_);
     snaps_[key] = std::move(snap);
+  }
+
+  // Publishes `snap` only if `key` has no snapshot yet; returns the snapshot
+  // that is in the store afterwards (the winner).  Concurrent cold runs of
+  // one key race their first-capture Put: exactly one wins, and the losers
+  // learn it atomically so they never park shells under a generation nobody
+  // will ever look up again.
+  SnapshotRef PutIfAbsent(const std::string& key, SnapshotRef snap) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    return snaps_.try_emplace(key, std::move(snap)).first->second;
   }
 
   void Erase(const std::string& key) {

@@ -1,0 +1,390 @@
+// Delta-aware snapshot engine tests: extent-coalesced capture/restore
+// round-trips, the GuestMemory snapshot-epoch mechanism, randomized
+// delta-vs-full differential checks (the Section 3.3 isolation objective:
+// one invocation's writes must never leak into the next restore), and the
+// pool's snapshot-affine acquire/release/reclaim paths.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/vrt/env.h"
+#include "src/vrt/samples.h"
+#include "src/wasp/pool.h"
+#include "src/wasp/runtime.h"
+#include "src/wasp/snapshot.h"
+#include "src/wasp/vfunc.h"
+
+namespace {
+
+using vhw::kPageSize;
+
+// --- GuestMemory snapshot epoch ---------------------------------------------
+
+TEST(Epoch, TracksWritesSinceBeginEpoch) {
+  vhw::GuestMemory mem(1 << 20);
+  uint8_t b = 1;
+  ASSERT_TRUE(mem.Write(0x1000, &b, 1).ok());
+  ASSERT_TRUE(mem.Write(0x5000, &b, 1).ok());
+  EXPECT_EQ(mem.CountEpochDirtyPages(), 2u);
+  mem.BeginEpoch();
+  EXPECT_EQ(mem.CountEpochDirtyPages(), 0u);
+  // The lifetime dirty bitmap is untouched by BeginEpoch.
+  EXPECT_EQ(mem.CountDirtyPages(), 2u);
+  ASSERT_TRUE(mem.Write(0x5000, &b, 1).ok());
+  const std::vector<uint64_t> pages = mem.CollectDirtySince();
+  ASSERT_EQ(pages.size(), 1u);
+  EXPECT_EQ(pages[0], 0x5000u >> vhw::kPageBits);
+}
+
+TEST(Epoch, StoreRawFastPathStillMarksEpoch) {
+  vhw::GuestMemory mem(1 << 20);
+  // Two stores to the same page: the second takes the last-dirty-page fast
+  // path, and the epoch bitmap must already hold the page.
+  mem.StoreRaw<uint64_t>(0x2000, 1);
+  mem.StoreRaw<uint64_t>(0x2008, 2);
+  EXPECT_EQ(mem.CountEpochDirtyPages(), 1u);
+  mem.BeginEpoch();
+  // BeginEpoch must invalidate the fast-path cache, or this store would
+  // skip re-marking the epoch bitmap.
+  mem.StoreRaw<uint64_t>(0x2010, 3);
+  EXPECT_EQ(mem.CountEpochDirtyPages(), 1u);
+  EXPECT_TRUE(mem.EpochPageDirty(0x2000 >> vhw::kPageBits));
+}
+
+TEST(Epoch, ZeroDirtyPagesClearsEpochToo) {
+  vhw::GuestMemory mem(1 << 20);
+  uint8_t b = 7;
+  ASSERT_TRUE(mem.Write(0x3000, &b, 1).ok());
+  mem.ZeroDirtyPages();
+  EXPECT_EQ(mem.CountEpochDirtyPages(), 0u);
+  EXPECT_EQ(mem.CountDirtyPages(), 0u);
+}
+
+// --- Extent-coalesced capture ------------------------------------------------
+
+TEST(Snapshot, ContiguousDirtyRunsCoalesceIntoExtents) {
+  vhw::GuestMemory mem(1 << 20);
+  std::vector<uint8_t> run(10 * kPageSize, 0xab);
+  ASSERT_TRUE(mem.Write(0x8000, run.data(), run.size()).ok());  // pages 8..17
+  uint8_t b = 0xcd;
+  ASSERT_TRUE(mem.Write(0x40000, &b, 1).ok());  // page 64, isolated
+  wasp::SnapshotRef snap = wasp::CaptureSnapshot(mem, vhw::ArchState{});
+  ASSERT_EQ(snap->extents.size(), 2u);
+  EXPECT_EQ(snap->extents[0].first_page, 8u);
+  EXPECT_EQ(snap->extents[0].page_count, 10u);
+  EXPECT_EQ(snap->extents[1].first_page, 64u);
+  EXPECT_EQ(snap->extents[1].page_count, 1u);
+  EXPECT_EQ(snap->byte_size(), 11 * kPageSize);
+  // FindPage resolves captured pages and rejects uncaptured ones.
+  ASSERT_NE(snap->FindPage(8), nullptr);
+  ASSERT_NE(snap->FindPage(17), nullptr);
+  EXPECT_EQ(snap->FindPage(17)[0], 0xab);
+  EXPECT_EQ(snap->FindPage(64)[0], 0xcd);
+  EXPECT_EQ(snap->FindPage(7), nullptr);
+  EXPECT_EQ(snap->FindPage(18), nullptr);
+  EXPECT_EQ(snap->FindPage(63), nullptr);
+  EXPECT_EQ(snap->FindPage(65), nullptr);
+}
+
+TEST(Snapshot, GenerationsAreProcessUnique) {
+  vhw::GuestMemory mem(1 << 16);
+  wasp::SnapshotRef a = wasp::CaptureSnapshot(mem, vhw::ArchState{});
+  wasp::SnapshotRef b = wasp::CaptureSnapshot(mem, vhw::ArchState{});
+  EXPECT_NE(a->generation, 0u);
+  EXPECT_NE(b->generation, 0u);
+  EXPECT_NE(a->generation, b->generation);
+}
+
+TEST(Snapshot, FullRestoreRoundTripsMemory) {
+  vhw::GuestMemory src(1 << 20);
+  vbase::Rng rng(42);
+  // Scattered multi-page writes with distinctive content.
+  for (int i = 0; i < 32; ++i) {
+    std::vector<uint8_t> buf(1 + rng.Below(3 * kPageSize));
+    for (uint8_t& v : buf) {
+      v = static_cast<uint8_t>(rng.Next());
+    }
+    const uint64_t gpa = rng.Below(src.size() - buf.size());
+    ASSERT_TRUE(src.Write(gpa, buf.data(), buf.size()).ok());
+  }
+  wasp::SnapshotRef snap = wasp::CaptureSnapshot(src, vhw::ArchState{});
+  vhw::GuestMemory dst(1 << 20);
+  EXPECT_EQ(wasp::RestoreFullInto(*snap, &dst), snap->byte_size());
+  ASSERT_EQ(dst.size(), src.size());
+  EXPECT_EQ(std::memcmp(dst.data(), src.data(), src.size()), 0);
+  // Restored pages are marked dirty so a pool clean re-zeroes them.
+  EXPECT_EQ(dst.CountDirtyPages(), snap->page_count());
+}
+
+// --- Delta-vs-full differential fuzz ----------------------------------------
+
+// The heart of the isolation argument: after arbitrary post-snapshot writes,
+// a delta restore must leave memory byte-identical to a full restore into a
+// clean shell.
+TEST(Snapshot, DeltaRestoreMatchesFullRestoreUnderRandomStores) {
+  constexpr uint64_t kMemSize = 1 << 20;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    vbase::Rng rng(seed * 7919);
+    vhw::GuestMemory live(kMemSize);
+    // Random base state (the "image + boot + init" the snapshot captures).
+    const int base_writes = 4 + static_cast<int>(rng.Below(24));
+    for (int i = 0; i < base_writes; ++i) {
+      std::vector<uint8_t> buf(1 + rng.Below(2 * kPageSize));
+      for (uint8_t& v : buf) {
+        v = static_cast<uint8_t>(rng.Next());
+      }
+      ASSERT_TRUE(live.Write(rng.Below(kMemSize - buf.size()), buf.data(), buf.size()).ok());
+    }
+    wasp::SnapshotRef snap = wasp::CaptureSnapshot(live, vhw::ArchState{});
+    live.BeginEpoch();
+
+    // Reference: full restore into a clean shell.
+    vhw::GuestMemory reference(kMemSize);
+    wasp::RestoreFullInto(*snap, &reference);
+
+    // The tenant scribbles: inside snapshot pages, outside them, straddling,
+    // and via the StoreRaw fast path.
+    const int tenant_writes = 1 + static_cast<int>(rng.Below(40));
+    for (int i = 0; i < tenant_writes; ++i) {
+      if (rng.Below(4) == 0) {
+        live.StoreRaw<uint64_t>(rng.Below(kMemSize - 8) & ~7ULL, rng.Next());
+      } else {
+        std::vector<uint8_t> buf(1 + rng.Below(3 * kPageSize));
+        for (uint8_t& v : buf) {
+          v = static_cast<uint8_t>(rng.Next());
+        }
+        ASSERT_TRUE(
+            live.Write(rng.Below(kMemSize - buf.size()), buf.data(), buf.size()).ok());
+      }
+    }
+
+    const uint64_t repaired = wasp::RestoreDeltaInto(*snap, &live);
+    EXPECT_EQ(repaired, live.CollectDirtySince().size() * kPageSize);
+    ASSERT_EQ(std::memcmp(live.data(), reference.data(), kMemSize), 0)
+        << "delta restore diverged from full restore (seed " << seed << ")";
+  }
+}
+
+TEST(Snapshot, DeltaRestoreCostFollowsWorkingSetNotImage) {
+  // A large snapshot (1024 captured pages) with a 3-page working set: the
+  // delta restore must repair exactly 3 pages.
+  vhw::GuestMemory mem(8 << 20);
+  std::vector<uint8_t> image(1024 * kPageSize, 0x11);
+  ASSERT_TRUE(mem.Write(0, image.data(), image.size()).ok());
+  wasp::SnapshotRef snap = wasp::CaptureSnapshot(mem, vhw::ArchState{});
+  mem.BeginEpoch();
+  uint8_t b = 0x22;
+  ASSERT_TRUE(mem.Write(10 * kPageSize, &b, 1).ok());        // inside the image
+  ASSERT_TRUE(mem.Write(2000 * kPageSize, &b, 1).ok());      // outside the image
+  mem.StoreRaw<uint32_t>(500 * kPageSize + 16, 0xdeadbeef);  // fast path
+  const uint64_t repaired = wasp::RestoreDeltaInto(*snap, &mem);
+  EXPECT_EQ(repaired, 3 * kPageSize);
+  EXPECT_LT(repaired, snap->byte_size());
+  // Page outside the snapshot is re-zeroed, pages inside are re-copied.
+  EXPECT_EQ(mem.data()[2000 * kPageSize], 0u);
+  EXPECT_EQ(mem.data()[10 * kPageSize], 0x11);
+}
+
+// --- Pool snapshot affinity ---------------------------------------------------
+
+TEST(AffinePool, KeyedAcquirePrefersParkedGeneration) {
+  wasp::Pool pool(wasp::CleanMode::kSync);
+  vkvm::VmConfig cfg;
+  auto vm = pool.Acquire(cfg);
+  uint8_t b = 0x5a;
+  ASSERT_TRUE(vm->memory().Write(0x9000, &b, 1).ok());
+  vm->memory().BeginEpoch();
+  pool.ReleaseAffine(std::move(vm), /*generation=*/17);
+  EXPECT_EQ(pool.AffineShells(17), 1u);
+  EXPECT_EQ(pool.TotalFreeShells(), 0u);
+
+  bool affine = false;
+  bool from_pool = false;
+  auto again = pool.AcquireAffine(cfg, 17, &affine, &from_pool);
+  EXPECT_TRUE(affine);
+  EXPECT_TRUE(from_pool);
+  // The parked shell kept its memory: no zeroing happened on release.
+  EXPECT_EQ(again->memory().data()[0x9000], 0x5a);
+  const wasp::PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.affine_parks, 1u);
+  EXPECT_EQ(stats.affine_hits, 1u);
+  EXPECT_EQ(stats.affine_reclaims, 0u);
+  pool.Release(std::move(again));
+}
+
+TEST(AffinePool, WrongGenerationFallsBackToCleanShell) {
+  wasp::Pool pool(wasp::CleanMode::kSync);
+  vkvm::VmConfig cfg;
+  auto vm = pool.Acquire(cfg);
+  uint8_t b = 0x5a;
+  ASSERT_TRUE(vm->memory().Write(0x9000, &b, 1).ok());
+  pool.ReleaseAffine(std::move(vm), 23);
+  // A keyed acquire for a different generation must not see shell 23's
+  // memory: it reclaims (cleans) it instead.
+  bool affine = true;
+  auto other = pool.AcquireAffine(cfg, 99, &affine);
+  EXPECT_FALSE(affine);
+  EXPECT_EQ(other->memory().data()[0x9000], 0u);
+  EXPECT_EQ(pool.stats().affine_reclaims, 1u);
+  pool.Release(std::move(other));
+}
+
+// The satellite regression: restore -> affine release -> *plain* reacquire
+// must yield a fully zeroed shell (the affine shortcut can never leak one
+// tenant's memory to a non-affine consumer).
+TEST(AffinePool, PlainAcquireAfterAffineParkIsFullyZeroed) {
+  auto image = vrt::BuildImage(vrt::Env::kLong64, vrt::FibSource());
+  ASSERT_TRUE(image.ok());
+  wasp::Runtime runtime;
+  wasp::VirtineSpec spec;
+  spec.image = &image.value();
+  spec.key = "zero-regression";
+  spec.use_snapshot = true;
+  wasp::VirtineFunc<int64_t(int64_t)> fib(&runtime, spec);
+  ASSERT_TRUE(fib.Call(10).ok());
+  ASSERT_TRUE(fib.Call(10).ok());
+  EXPECT_TRUE(fib.last_outcome().stats.affine_restore);
+  EXPECT_GE(runtime.pool().TotalAffineShells(), 1u);
+  // A plain acquire has no snapshot: the pool must hand back zeroed memory.
+  auto shell = runtime.pool().Acquire(runtime.MakeVmConfig(spec.mem_size));
+  const uint8_t* data = shell->memory().data();
+  for (uint64_t i = 0; i < shell->memory().size(); ++i) {
+    ASSERT_EQ(data[i], 0u) << "affine shell leaked byte at gpa 0x" << std::hex << i;
+  }
+  EXPECT_EQ(shell->memory().CountDirtyPages(), 0u);
+  runtime.pool().Release(std::move(shell));
+}
+
+// --- Runtime end-to-end -------------------------------------------------------
+
+TEST(AffineRuntime, WarmInvocationsUseDeltaRestore) {
+  auto image = vrt::BuildImage(vrt::Env::kLong64, vrt::FibSource());
+  ASSERT_TRUE(image.ok());
+  wasp::Runtime runtime;
+  wasp::VirtineSpec spec;
+  spec.image = &image.value();
+  spec.key = "affine-flow";
+  spec.use_snapshot = true;
+  wasp::VirtineFunc<int64_t(int64_t)> fib(&runtime, spec);
+
+  ASSERT_TRUE(fib.Call(10).ok());
+  EXPECT_TRUE(fib.last_outcome().stats.took_snapshot);
+  EXPECT_FALSE(fib.last_outcome().stats.restored_snapshot);
+
+  uint64_t max_delta_bytes = 0;
+  for (int i = 0; i < 4; ++i) {
+    auto r = fib.Call(10);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, 55);
+    const wasp::InvokeStats& stats = fib.last_outcome().stats;
+    EXPECT_TRUE(stats.restored_snapshot);
+    // The first run parked the shell snapshot-affine (the snapshot hypercall
+    // began its epoch), so every warm start here is a delta restore.
+    EXPECT_TRUE(stats.affine_restore) << "warm call " << i;
+    EXPECT_TRUE(stats.from_pool);
+    max_delta_bytes = std::max(max_delta_bytes, stats.restored_bytes);
+  }
+  // Delta restores repair a few pages, far below the snapshot image.
+  const wasp::SnapshotRef snap = runtime.snapshots().Find("affine-flow");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_LT(max_delta_bytes, snap->byte_size());
+  const wasp::PoolStats stats = runtime.pool().stats();
+  EXPECT_GE(stats.affine_hits, 4u);
+  EXPECT_GE(stats.affine_parks, 4u);
+}
+
+TEST(AffineRuntime, DeltaPathIsIsolatedAcrossInvocations) {
+  // A guest that snapshots explicitly, then increments a marker it reads
+  // from memory: if one invocation's post-snapshot write ever survived into
+  // the next restore, the result would drift past 1.
+  auto image = vrt::BuildRawImage(R"(
+start:
+  mov r0, 0
+  out HC_SNAPSHOT, r0
+  mov r8, 0x600
+  ld64 r9, [r8+0]
+  add r9, 1
+  st64 [r8+0], r9
+  mov r0, r9
+  mov r8, 0
+  st64 [r8+0], r0
+  hlt
+)");
+  ASSERT_TRUE(image.ok());
+  wasp::Runtime runtime;
+  wasp::VirtineSpec spec;
+  spec.image = &image.value();
+  spec.key = "delta-isolation";
+  spec.use_snapshot = true;
+  spec.crt_snapshot = false;  // the guest picks its own snapshot point
+  spec.word_bytes = 8;
+  for (int i = 0; i < 6; ++i) {
+    auto outcome = runtime.Invoke(spec);
+    ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+    EXPECT_EQ(outcome.result_word, 1u)
+        << "post-snapshot state leaked into invocation " << i;
+    if (i > 0) {
+      EXPECT_TRUE(outcome.stats.restored_snapshot);
+    }
+  }
+  EXPECT_GE(runtime.pool().stats().affine_hits, 5u);
+}
+
+TEST(AffineRuntime, AffinityDisabledStillRestoresCorrectly) {
+  auto image = vrt::BuildImage(vrt::Env::kLong64, vrt::FibSource());
+  ASSERT_TRUE(image.ok());
+  wasp::RuntimeOptions options;
+  options.snapshot_affinity = false;
+  wasp::Runtime runtime(options);
+  wasp::VirtineSpec spec;
+  spec.image = &image.value();
+  spec.key = "no-affinity";
+  spec.use_snapshot = true;
+  wasp::VirtineFunc<int64_t(int64_t)> fib(&runtime, spec);
+  ASSERT_TRUE(fib.Call(10).ok());
+  for (int i = 0; i < 3; ++i) {
+    auto r = fib.Call(10);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, 55);
+    EXPECT_TRUE(fib.last_outcome().stats.restored_snapshot);
+    EXPECT_FALSE(fib.last_outcome().stats.affine_restore);
+    // Full restores copy the whole snapshot, every time.
+    const wasp::SnapshotRef snap = runtime.snapshots().Find("no-affinity");
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(fib.last_outcome().stats.restored_bytes, snap->byte_size());
+  }
+  EXPECT_EQ(runtime.pool().stats().affine_parks, 0u);
+  EXPECT_EQ(runtime.pool().TotalAffineShells(), 0u);
+}
+
+// Delta and full restore must be observationally identical to the guest:
+// same results, same guest instruction stream.
+TEST(AffineRuntime, DeltaAndFullRestoreProduceIdenticalGuestRuns) {
+  auto image = vrt::BuildImage(vrt::Env::kLong64, vrt::FibSource());
+  ASSERT_TRUE(image.ok());
+  wasp::RuntimeOptions affine_on;
+  wasp::RuntimeOptions affine_off;
+  affine_off.snapshot_affinity = false;
+  wasp::Runtime with(affine_on);
+  wasp::Runtime without(affine_off);
+  wasp::VirtineSpec spec;
+  spec.image = &image.value();
+  spec.key = "ab-compare";
+  spec.use_snapshot = true;
+  wasp::VirtineFunc<int64_t(int64_t)> fa(&with, spec);
+  wasp::VirtineFunc<int64_t(int64_t)> fb(&without, spec);
+  for (int n : {0, 3, 11, 17}) {
+    auto a = fa.Call(n);
+    auto b = fb.Call(n);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b) << "n=" << n;
+    EXPECT_EQ(fa.last_outcome().stats.insns, fb.last_outcome().stats.insns) << "n=" << n;
+    EXPECT_EQ(fa.last_outcome().stats.guest_cycles, fb.last_outcome().stats.guest_cycles)
+        << "n=" << n;
+  }
+}
+
+}  // namespace

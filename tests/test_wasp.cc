@@ -545,6 +545,10 @@ TEST(Stats, PoolAndSnapshotFlagsAreAccurate) {
   ASSERT_TRUE(add.Call(3, 4).ok());
   EXPECT_TRUE(add.last_outcome().stats.from_pool);
   EXPECT_TRUE(add.last_outcome().stats.restored_snapshot);
+  // The first run parked its shell snapshot-affine, so the warm start is a
+  // delta restore that repairs only the dirtied pages.
+  EXPECT_TRUE(add.last_outcome().stats.affine_restore);
+  EXPECT_GT(add.last_outcome().stats.restored_bytes, 0u);
   EXPECT_GT(add.last_outcome().stats.total_cycles, 0u);
   EXPECT_GT(add.last_outcome().stats.total_ns, 0u);
 }
