@@ -1,16 +1,39 @@
 // Figure 15: serverless virtine performance vs a container-based platform
 // under the paper's bursty Locust pattern (ramp up, two bursts, ramp down).
 //
-// The Vespid (virtine) executor's warm/cold service times are measured from
-// real invocations of the microjs base64 function on this machine; the
-// container executor is an explicit model calibrated to published
-// OpenWhisk-style cold/warm starts (DESIGN.md S2).  The bursty pattern is
-// then evaluated deterministically in virtual time.
+// The Vespid (virtine) half is *replayed, not modeled*: every arrival of
+// the trace becomes a real invocation of the microjs base64 function
+// through the wasp::Executor (snapshot restores, pool reuse, and the cold
+// first touch under real contention), and the measured per-request service
+// costs are laid onto the trace's virtual timeline.  The container half
+// remains the explicit analytic model calibrated to published
+// OpenWhisk-style cold/warm starts (DESIGN.md S2) — the comparison
+// baseline.  Both halves share the same arrival trace (same generator,
+// same seed), so the timelines compare bucket for bucket.
 #include "bench/bench_util.h"
 #include "src/base/rng.h"
 #include "src/vjs/vjs.h"
 #include "src/vnet/serverless.h"
 #include "src/wasp/runtime.h"
+
+namespace {
+
+void PrintTimeline(const vnet::SimResult& sim) {
+  vbase::Table table({"t (s)", "offered rps", "completed rps", "mean lat us", "p99 lat us",
+                      "cold starts"});
+  for (const auto& point : sim.timeline) {
+    table.AddRow({vbase::Fmt(point.t_s, 0), vbase::Fmt(point.offered_rps, 0),
+                  vbase::Fmt(point.completed_rps, 0), vbase::Fmt(point.mean_latency_us, 0),
+                  vbase::Fmt(point.p99_latency_us, 0), std::to_string(point.cold_starts)});
+  }
+  table.Print();
+  std::printf("overall: %llu requests, mean %.0f us, p99 %.0f us, %llu cold starts\n",
+              static_cast<unsigned long long>(sim.total_requests), sim.latency_us.mean,
+              sim.latency_us.p99,
+              static_cast<unsigned long long>(sim.total_cold_starts));
+}
+
+}  // namespace
 
 int main() {
   benchutil::Header(
@@ -18,7 +41,6 @@ int main() {
       "the virtine platform sustains bursts with low latency; the container platform "
       "suffers cold-start spikes when bursts exceed the warm pool");
 
-  // --- Measure Vespid's real per-invocation costs ---------------------------
   wasp::Runtime runtime;
   vnet::Vespid vespid(&runtime);
   VB_CHECK(vespid.Register("b64", vjs::Base64ScriptSource()).ok(), "register failed");
@@ -27,82 +49,45 @@ int main() {
   for (auto& b : payload) {
     b = static_cast<uint8_t>(rng.Next());
   }
-  double cold_us = 0;
-  for (int i = 0; i < 2; ++i) {
-    auto inv = vespid.Invoke("b64", payload);
-    VB_CHECK(inv.ok(), inv.status().ToString());
-    if (inv->cold) {
-      cold_us = vbase::CyclesToMicros(inv->modeled_cycles);
-    }
-  }
-  // Warm service cost measured the way the platform actually serves bursts:
-  // a concurrent batch through the wasp::Executor (snapshot restores and
-  // pool reuse under real contention), not one invocation at a time.
-  constexpr int kBatch = 24;
-  constexpr int kConcurrency = 8;
-  auto batch = vespid.InvokeBatch("b64", std::vector<std::vector<uint8_t>>(kBatch, payload),
-                                  kConcurrency);
-  VB_CHECK(batch.ok(), batch.status().ToString());
-  std::vector<double> warm_us;
-  for (const auto& inv : batch->invocations) {
-    if (!inv.cold) {
-      warm_us.push_back(vbase::CyclesToMicros(inv.modeled_cycles));
-    }
-  }
-  VB_CHECK(!warm_us.empty(), "no warm invocation in the batch");
-  const double vespid_warm = vbase::Summarize(warm_us).mean;
-
-  // Cold extra: guard against a never-observed cold invocation (a pre-seeded
-  // snapshot makes every run warm => cold_us stays 0 and the naive
-  // subtraction would feed the model a *negative* cold-start cost).
-  double cold_extra_us = cold_us - vespid_warm;
-  if (cold_us <= 0.0) {
-    std::printf("warning: no cold invocation observed (snapshot pre-seeded); "
-                "modeling cold extra as 0\n");
-    cold_extra_us = 0.0;
-  } else if (cold_extra_us < 0.0) {
-    std::printf("warning: cold invocation (%.0f us) ran cheaper than warm mean (%.0f us); "
-                "clamping cold extra to 0\n", cold_us, vespid_warm);
-    cold_extra_us = 0.0;
-  }
-
-  // --- Executor models -------------------------------------------------------
-  vnet::ExecutorModel virtine_model{"Vespid (virtines)", vespid_warm, cold_extra_us, 64,
-                                    600.0};
-  // Container platform: ~500 ms cold start (docker create + Node/V8 init;
-  // optimized literature systems reach <20 ms, vanilla OpenWhisk does not),
-  // ~30 ms per warm invocation (container round trip), and a warm pool that
-  // shrinks after a few idle seconds — so each burst forces scale-out.
-  vnet::ExecutorModel container_model{"OpenWhisk-style containers", 30000.0, 500000.0, 16,
-                                      3.0};
 
   // Ramp up, burst, dip, burst, ramp down (the paper's Locust profile).
   const std::vector<vnet::LoadPhase> pattern = {
       {5, 2}, {20, 2}, {120, 3}, {15, 2}, {120, 3}, {20, 2}, {5, 2},
   };
+  constexpr uint64_t kSeed = 42;
+  constexpr int kLanes = 8;
 
-  for (const auto& model : {virtine_model, container_model}) {
-    const vnet::SimResult sim = vnet::SimulateBurstyLoad(pattern, model);
-    std::printf("\n--- %s (warm %.0f us, cold +%.0f us, %d instances) ---\n",
-                model.name.c_str(), model.warm_service_us, model.cold_extra_us,
-                model.max_instances);
-    vbase::Table table({"t (s)", "offered rps", "completed rps", "mean lat us", "p99 lat us",
-                        "cold starts"});
-    for (const auto& point : sim.timeline) {
-      table.AddRow({vbase::Fmt(point.t_s, 0), vbase::Fmt(point.offered_rps, 0),
-                    vbase::Fmt(point.completed_rps, 0), vbase::Fmt(point.mean_latency_us, 0),
-                    vbase::Fmt(point.p99_latency_us, 0), std::to_string(point.cold_starts)});
-    }
-    table.Print();
-    std::printf("overall: %llu requests, mean %.0f us, p99 %.0f us, %llu cold starts\n",
-                static_cast<unsigned long long>(sim.total_requests), sim.latency_us.mean,
-                sim.latency_us.p99,
-                static_cast<unsigned long long>(sim.total_cold_starts));
-  }
-  std::printf("\nVespid service times measured from real invocations on this machine (%d-wide\n"
-              "concurrent batch through wasp::Executor, modeled makespan %.0f us for %d\n"
-              "invocations); the container row is the calibrated model documented in\n"
-              "DESIGN.md S2.\n",
-              kConcurrency, vbase::CyclesToMicros(batch->makespan_cycles), kBatch);
+  // --- Vespid: real executor-driven replay of the trace ---------------------
+  vnet::ReplayOptions replay_options;
+  replay_options.concurrency = kLanes;
+  replay_options.seed = kSeed;
+  auto replay = vespid.ReplayBurstyLoad("b64", pattern, payload, replay_options);
+  VB_CHECK(replay.ok(), replay.status().ToString());
+  std::printf("\n--- Vespid (virtines), replayed: %d executor lanes, measured warm %.0f us, "
+              "cold %.0f us x%llu ---\n",
+              kLanes, replay->measured_warm_us, replay->measured_cold_us,
+              static_cast<unsigned long long>(replay->cold_invocations));
+  PrintTimeline(replay->sim);
+
+  // --- Containers: the calibrated analytic baseline -------------------------
+  // ~500 ms cold start (docker create + Node/V8 init; optimized literature
+  // systems reach <20 ms, vanilla OpenWhisk does not), ~30 ms per warm
+  // invocation (container round trip), and a warm pool that shrinks after a
+  // few idle seconds — so each burst forces scale-out.
+  vnet::ExecutorModel container_model{"OpenWhisk-style containers", 30000.0, 500000.0, 16,
+                                      3.0};
+  const vnet::SimResult container = vnet::SimulateBurstyLoad(pattern, container_model, kSeed);
+  std::printf("\n--- %s (modeled: warm %.0f us, cold +%.0f us, %d instances) ---\n",
+              container_model.name.c_str(), container_model.warm_service_us,
+              container_model.cold_extra_us, container_model.max_instances);
+  PrintTimeline(container);
+
+  std::printf("\nVespid rows come from %llu real virtine invocations dispatched through the\n"
+              "wasp::Executor over the arrival trace (replay wall time %.2f s); the container\n"
+              "rows are the calibrated model documented in DESIGN.md S2.  Both halves share\n"
+              "the trace (seed %llu), so buckets compare one to one.\n",
+              static_cast<unsigned long long>(replay->sim.total_requests),
+              static_cast<double>(replay->wall_ns) / 1e9,
+              static_cast<unsigned long long>(kSeed));
   return 0;
 }

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure + build + ctest in one command.
 #
-#   ./ci.sh             # normal mode (warnings allowed) + fig9 throughput smoke
+#   ./ci.sh             # normal mode (warnings allowed) + fig9/fig12/fig13 smokes
 #   STRICT=1 ./ci.sh    # -Werror: any warning fails the build
 #   TSAN=1 ./ci.sh      # ThreadSanitizer build; runs the threaded wasp/net tests
 #   BUILD_DIR=out ./ci.sh
@@ -21,9 +21,10 @@ if [[ "${TSAN:-0}" == "1" ]]; then
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build "$BUILD_DIR" -j"$(nproc)" \
-    --target test_wasp test_wasp_concurrency test_snapshot_engine test_net
+    --target test_wasp test_wasp_concurrency test_snapshot_engine test_net \
+    test_http_server_concurrency
   (cd "$BUILD_DIR" && ./test_wasp && ./test_wasp_concurrency && \
-   ./test_snapshot_engine && ./test_net)
+   ./test_snapshot_engine && ./test_net && ./test_http_server_concurrency)
   exit 0
 fi
 
@@ -38,3 +39,7 @@ cmake --build "$BUILD_DIR" -j"$(nproc)"
 # ever scales with image size again (16 MB vs 64 KB image at a fixed working
 # set must stay under 1.5x).
 (cd "$BUILD_DIR" && ./fig12_image_size --quick)
+# Concurrent-serving smoke: a small 2-lane run of the executor-backed HTTP
+# server in all three modes; fails (non-zero) on any wrong response or
+# admission-counter mismatch.
+(cd "$BUILD_DIR" && ./fig13_http_server --quick)

@@ -38,6 +38,16 @@ std::string HttpRequest::Header(const std::string& name) const {
   return "";
 }
 
+bool HttpRequest::HasHeader(const std::string& name) const {
+  const std::string lower = ToLower(name);
+  for (const auto& [key, value] : headers) {
+    if (ToLower(key) == lower) {
+      return true;
+    }
+  }
+  return false;
+}
+
 vbase::Result<HttpRequest> ParseRequest(const std::string& data) {
   const size_t head_end = data.find("\r\n\r\n");
   if (head_end == std::string::npos) {

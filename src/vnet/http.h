@@ -21,6 +21,9 @@ struct HttpRequest {
 
   // Case-insensitive header lookup; empty string when absent.
   std::string Header(const std::string& name) const;
+  // Case-insensitive presence check; true even for an empty value (which
+  // Header() cannot distinguish from an absent header).
+  bool HasHeader(const std::string& name) const;
 };
 
 // Parses a complete request (head + optional Content-Length body) from a

@@ -1,11 +1,29 @@
 #include "src/vnet/loadgen.h"
 
+#include <algorithm>
 #include <mutex>
 #include <thread>
 
 #include "src/base/clock.h"
+#include "src/base/rng.h"
 
 namespace vnet {
+namespace {
+
+// Harmonic-mean throughput + latency summary over the collected samples.
+void FinalizeLoadResult(LoadResult* result) {
+  std::vector<double> rps;
+  rps.reserve(result->latencies_us.size());
+  for (double lat : result->latencies_us) {
+    if (lat > 0) {
+      rps.push_back(1e6 / lat);
+    }
+  }
+  result->harmonic_mean_rps = vbase::HarmonicMean(rps);
+  result->latency = vbase::Summarize(result->latencies_us);
+}
+
+}  // namespace
 
 LoadResult RunClosedLoop(int workers, int requests_per_worker, const RequestFn& fn) {
   LoadResult result;
@@ -35,15 +53,98 @@ LoadResult RunClosedLoop(int workers, int requests_per_worker, const RequestFn& 
     t.join();
   }
   result.wall_seconds = static_cast<double>(timer.ElapsedNanos()) / 1e9;
-  std::vector<double> rps;
-  rps.reserve(result.latencies_us.size());
-  for (double lat : result.latencies_us) {
-    if (lat > 0) {
-      rps.push_back(1e6 / lat);
+  FinalizeLoadResult(&result);
+  return result;
+}
+
+LaneSchedule::LaneSchedule(int lanes)
+    : lane_free_us_(static_cast<size_t>(std::max(lanes, 1)), 0.0) {}
+
+double LaneSchedule::Place(double earliest_start_us, double service_us) {
+  // Earliest-free lane, ties broken on index: deterministic for a given
+  // placement sequence.
+  const size_t lane = static_cast<size_t>(
+      std::min_element(lane_free_us_.begin(), lane_free_us_.end()) - lane_free_us_.begin());
+  const double done = std::max(earliest_start_us, lane_free_us_[lane]) + service_us;
+  lane_free_us_[lane] = done;
+  return done;
+}
+
+LoadResult ClosedLoopVirtualTime(int clients, int lanes,
+                                 const std::vector<double>& services_us) {
+  LoadResult result;
+  const size_t n_clients = static_cast<size_t>(std::max(clients, 1));
+  // Earliest-ready client issues the next request; it starts on the
+  // earliest-free lane.  Ties break on index, so the schedule (and every
+  // latency) is deterministic for a given service vector.
+  std::vector<double> client_ready(n_clients, 0.0);
+  LaneSchedule schedule(lanes);
+  result.latencies_us.reserve(services_us.size());
+  double end_us = 0;
+  for (const double service : services_us) {
+    const size_t c = static_cast<size_t>(
+        std::min_element(client_ready.begin(), client_ready.end()) - client_ready.begin());
+    if (service < 0) {
+      ++result.failures;  // failed request: the client retries immediately
+      continue;
+    }
+    const double done = schedule.Place(client_ready[c], service);
+    result.latencies_us.push_back(done - client_ready[c]);
+    client_ready[c] = done;
+    end_us = std::max(end_us, done);
+  }
+  result.wall_seconds = end_us / 1e6;  // virtual seconds of the schedule
+  FinalizeLoadResult(&result);
+  return result;
+}
+
+std::vector<double> GenerateArrivalTrace(const std::vector<LoadPhase>& phases,
+                                         uint64_t seed) {
+  vbase::Rng rng(seed);
+  std::vector<double> arrivals_us;
+  double t = 0;
+  for (const LoadPhase& phase : phases) {
+    const double end = t + phase.duration_s * 1e6;
+    if (phase.rps <= 0) {
+      t = end;
+      continue;
+    }
+    const double gap = 1e6 / phase.rps;
+    double at = t;
+    while (at < end) {
+      arrivals_us.push_back(at + gap * 0.25 * (rng.NextDouble() - 0.5));
+      at += gap;
+    }
+    t = end;
+  }
+  std::sort(arrivals_us.begin(), arrivals_us.end());
+  return arrivals_us;
+}
+
+TraceResult ReplayTrace(const std::vector<LoadPhase>& phases, const AsyncRequestFn& fn,
+                        uint64_t seed) {
+  TraceResult result;
+  result.arrivals_us = GenerateArrivalTrace(phases, seed);
+  vbase::WallTimer timer;
+  std::vector<std::future<double>> futures;
+  futures.reserve(result.arrivals_us.size());
+  for (size_t i = 0; i < result.arrivals_us.size(); ++i) {
+    futures.push_back(fn(i));
+  }
+  result.service_us.reserve(futures.size());
+  std::vector<double> ok_services;
+  ok_services.reserve(futures.size());
+  for (std::future<double>& f : futures) {
+    const double service = f.valid() ? f.get() : -1.0;
+    result.service_us.push_back(service);
+    if (service < 0) {
+      ++result.failures;
+    } else {
+      ok_services.push_back(service);
     }
   }
-  result.harmonic_mean_rps = vbase::HarmonicMean(rps);
-  result.latency = vbase::Summarize(result.latencies_us);
+  result.wall_seconds = static_cast<double>(timer.ElapsedNanos()) / 1e9;
+  result.service = vbase::Summarize(ok_services);
   return result;
 }
 

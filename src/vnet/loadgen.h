@@ -4,11 +4,20 @@
 // Closed-loop mode: N worker threads issue requests back to back (Figure
 // 13's localhost generator).  Results aggregate per-request latencies and
 // the harmonic-mean throughput the paper reports.
+//
+// Open-loop mode: ReplayTrace drives one dispatch per arrival of a
+// deterministic arrival trace (uniform spacing with ±12.5% jitter inside each
+// phase — the paper's bursty Locust profile) without ever waiting for a
+// completion, so bursts land on the server at full width and admission
+// control / queueing is what absorbs them.  The same generator feeds the
+// Figure 15 simulator and replay, so modeled and measured platforms see an
+// identical request stream.
 #ifndef SRC_VNET_LOADGEN_H_
 #define SRC_VNET_LOADGEN_H_
 
 #include <cstdint>
 #include <functional>
+#include <future>
 #include <vector>
 
 #include "src/base/stats.h"
@@ -18,6 +27,12 @@ namespace vnet {
 // Issues one request; returns its latency in microseconds (modeled or wall,
 // the caller decides the currency) or a negative value on failure.
 using RequestFn = std::function<double()>;
+
+// One phase of an open-loop arrival pattern (e.g. ramp, burst, ramp).
+struct LoadPhase {
+  double rps;         // arrival rate during the phase
+  double duration_s;  // phase length
+};
 
 struct LoadResult {
   std::vector<double> latencies_us;
@@ -32,6 +47,62 @@ struct LoadResult {
 // Runs `requests_per_worker` sequential requests on each of `workers`
 // threads.  RequestFn must be thread-safe.
 LoadResult RunClosedLoop(int workers, int requests_per_worker, const RequestFn& fn);
+
+// Virtual-time lane scheduler shared by the closed loop below and the
+// Figure 15 replay: each placed request starts on the earliest-free of N
+// serving lanes, no earlier than its own earliest-start time, and occupies
+// the lane for its service time.  One implementation, so the fig13 and
+// fig15 currencies cannot drift.
+class LaneSchedule {
+ public:
+  explicit LaneSchedule(int lanes);
+  // Returns the request's completion time (start + service).
+  double Place(double earliest_start_us, double service_us);
+
+ private:
+  std::vector<double> lane_free_us_;
+};
+
+// Deterministic virtual-time closed loop: `clients` logical clients issue
+// requests back to back over `lanes` serving lanes; request i consumes
+// services_us[i] of lane time (measured service costs — e.g. the modeled
+// cycles of real invocations — consumed in order; negative entries count as
+// failures and occupy no lane time).  Per-request latency is virtual queue
+// wait plus service, so the result scales with the lane count even on an
+// oversubscribed host where wall time cannot express lane parallelism.
+// This is the deterministic currency of the Figure 13 lane sweep, the
+// closed-loop sibling of fig9's modeled makespan.
+LoadResult ClosedLoopVirtualTime(int clients, int lanes,
+                                 const std::vector<double>& services_us);
+
+// Deterministic arrival offsets (microseconds, ascending) for the open-loop
+// phases: uniform spacing within each phase with ±12.5% jitter (a
+// quarter-gap uniform window) so bursts are not perfectly synchronized.
+// Shared by the Figure 15 simulator and the
+// executor-driven replay so both see the same trace for a given seed.
+std::vector<double> GenerateArrivalTrace(const std::vector<LoadPhase>& phases,
+                                         uint64_t seed = 42);
+
+// Dispatches request `index` of the trace (e.g. submits a connection to the
+// ConcurrentHttpServer) and returns a future resolving to its service
+// latency in microseconds, negative on failure.
+using AsyncRequestFn = std::function<std::future<double>(size_t index)>;
+
+struct TraceResult {
+  std::vector<double> arrivals_us;  // the virtual timeline of the trace
+  std::vector<double> service_us;   // per-request measured service (neg = failure)
+  uint64_t failures = 0;
+  double wall_seconds = 0;          // real elapsed time of the replay
+  vbase::Summary service;           // over successful requests
+};
+
+// Open-loop trace replay: dispatches fn(i) for every arrival in trace order
+// without waiting on completions (the submitted-to executor's admission
+// policy provides the backpressure), then harvests every future.  Arrivals
+// define the virtual timeline reported alongside the measured services;
+// dispatch itself is immediate, so the trace's burst width is preserved.
+TraceResult ReplayTrace(const std::vector<LoadPhase>& phases, const AsyncRequestFn& fn,
+                        uint64_t seed = 42);
 
 }  // namespace vnet
 

@@ -7,6 +7,15 @@
 #include "src/vrt/vlibc.h"
 
 namespace vnet {
+namespace {
+
+// Snapshot key of the static-file handler: HandleVirtine keys its
+// VirtineSpec with it, and snapshot-mode connection jobs carry it as the
+// executor's keyed-dequeue affinity hint, so a lane keeps serving the shell
+// whose snapshot it just parked.
+constexpr const char* kStaticHandlerKey = "http-static-handler";
+
+}  // namespace
 
 std::string EchoHandlerSource() {
   // The guest timestamps its startup milestones with in-guest rdtsc (the
@@ -33,8 +42,120 @@ int main() {
 std::string StaticHandlerSource() {
   // Exactly the paper's seven host interactions (Section 6.3):
   // (1) recv request, (2) stat file, (3) open, (4) read, (5) send response,
-  // (6) close, (7) exit.
+  // (6) close, (7) exit.  Structural request validation (complete header
+  // block, an HTTP/ version token, a colon in every header line, Host on
+  // HTTP/1.1) runs inside the guest before any file interaction: a
+  // malformed request costs three hypercalls (recv, send 400, exit) and
+  // never touches the sandboxed filesystem.  Scans are bounded to the
+  // header block, so body bytes can never satisfy a header rule.
   return R"vc(
+int vn_headers_end(char *req, int n) {
+  int i;
+  i = 0;
+  while (i + 3 < n) {
+    if (req[i] == 13 && req[i + 1] == 10 && req[i + 2] == 13 && req[i + 3] == 10) {
+      return i;
+    }
+    i = i + 1;
+  }
+  return -1;
+}
+
+int vn_version_start(char *req, int he) {
+  int i;
+  int t;
+  i = 0;
+  t = 0;
+  while (i < he && req[i] != 13) {
+    while (i < he && (req[i] == ' ' || req[i] == 9)) {
+      i = i + 1;
+    }
+    if (i >= he || req[i] == 13) {
+      return -1;
+    }
+    if (t == 2) {
+      return i;
+    }
+    while (i < he && req[i] != ' ' && req[i] != 9 && req[i] != 13) {
+      i = i + 1;
+    }
+    t = t + 1;
+  }
+  return -1;
+}
+
+int vn_head_valid(char *req, int he) {
+  int i;
+  int vs;
+  int has_colon;
+  vs = vn_version_start(req, he);
+  if (vs < 0 || vs + 4 >= he) {
+    return 0;
+  }
+  if (!(req[vs] == 'H' && req[vs + 1] == 'T' && req[vs + 2] == 'T' && req[vs + 3] == 'P' &&
+        req[vs + 4] == '/')) {
+    return 0;
+  }
+  i = vs;
+  while (i < he && req[i] != 13) {
+    i = i + 1;
+  }
+  while (i < he) {
+    if (req[i] == 10) {
+      has_colon = 0;
+      i = i + 1;
+      while (i < he && req[i] != 13) {
+        if (req[i] == ':') {
+          has_colon = 1;
+        }
+        i = i + 1;
+      }
+      if (!has_colon) {
+        return 0;
+      }
+    } else {
+      i = i + 1;
+    }
+  }
+  return 1;
+}
+
+int vn_is_http11(char *req, int he) {
+  int vs;
+  vs = vn_version_start(req, he);
+  if (vs < 0 || vs + 8 > he) {
+    return 0;
+  }
+  if (req[vs] == 'H' && req[vs + 1] == 'T' && req[vs + 2] == 'T' && req[vs + 3] == 'P' &&
+      req[vs + 4] == '/' && req[vs + 5] == '1' && req[vs + 6] == '.' && req[vs + 7] == '1' &&
+      (req[vs + 8] == 13 || req[vs + 8] == ' ' || req[vs + 8] == 9)) {
+    return 1;
+  }
+  return 0;
+}
+
+int vn_has_host(char *req, int he) {
+  int i;
+  int j;
+  i = 0;
+  while (i + 5 < he) {
+    if (req[i] == 10) {
+      if ((req[i + 1] == 'H' || req[i + 1] == 'h') && (req[i + 2] == 'o' || req[i + 2] == 'O') &&
+          (req[i + 3] == 's' || req[i + 3] == 'S') && (req[i + 4] == 't' || req[i + 4] == 'T')) {
+        j = i + 5;
+        while (j < he && (req[j] == ' ' || req[j] == 9)) {
+          j = j + 1;
+        }
+        if (j < he && req[j] == ':') {
+          return 1;
+        }
+      }
+    }
+    i = i + 1;
+  }
+  return 0;
+}
+
 int parse_path(char *req, char *path) {
   int i;
   int j;
@@ -71,12 +192,29 @@ int main() {
   int fd;
   int m;
   int hl;
+  int he;
   n = recv(req, 2047);                                   // (1)
   if (n <= 0) {
     exit(1);
     return 1;
   }
   req[n] = 0;
+  he = vn_headers_end(req, n);
+  if (he < 0) {
+    send("HTTP/1.0 400 Bad Request\r\nContent-Length: 0\r\n\r\n", 47);
+    exit(1);
+    return 1;
+  }
+  if (!vn_head_valid(req, he)) {
+    send("HTTP/1.0 400 Bad Request\r\nContent-Length: 0\r\n\r\n", 47);
+    exit(1);
+    return 1;
+  }
+  if (vn_is_http11(req, he) && !vn_has_host(req, he)) {
+    send("HTTP/1.0 400 Bad Request\r\nContent-Length: 0\r\n\r\n", 47);
+    exit(1);
+    return 1;
+  }
   if (parse_path(req, path) < 0) {
     send("HTTP/1.0 400 Bad Request\r\nContent-Length: 0\r\n\r\n", 47);
     exit(1);
@@ -147,6 +285,18 @@ vbase::Result<ServeStats> StaticHttpServer::HandleNative(wasp::ByteChannel& chan
   const uint64_t n = channel.guest().Read(buf, sizeof(buf) - 1);
   auto req = ParseRequest(std::string(buf, n));
   if (!req.ok()) {
+    // Truncated, oversized (no header terminator within the read window),
+    // or outright malformed: all collapse to a clean 400.
+    channel.guest().WriteString(BuildResponse(400, ""));
+    stats.status = 400;
+    stats.wall_ns = timer.ElapsedNanos();
+    return stats;
+  }
+  // Presence check (not value): matches the guest handler's scan, so every
+  // ServeMode answers the same bytes with the same status for structural
+  // rules.  (Value-level rules the guest does not implement — e.g.
+  // Content-Length digit checking — remain host-parser only.)
+  if (req->version == "HTTP/1.1" && !req->HasHeader("host")) {
     channel.guest().WriteString(BuildResponse(400, ""));
     stats.status = 400;
     stats.wall_ns = timer.ElapsedNanos();
@@ -171,7 +321,7 @@ vbase::Result<ServeStats> StaticHttpServer::HandleVirtine(wasp::ByteChannel& cha
   vbase::WallTimer timer;
   wasp::VirtineSpec spec;
   spec.image = &handler_image_;
-  spec.key = "http-static-handler";
+  spec.key = kStaticHandlerKey;
   spec.mem_size = 1ULL << 20;
   spec.policy = wasp::kPolicyStream | wasp::kPolicyFileIo | wasp::MaskOf(wasp::kHcSnapshot);
   spec.use_snapshot = snapshot;
@@ -195,6 +345,73 @@ vbase::Result<ServeStats> StaticHttpServer::HandleVirtine(wasp::ByteChannel& cha
   stats.deisolated_cycles =
       outcome.stats.guest_cycles > exit_charges ? outcome.stats.guest_cycles - exit_charges : 0;
   return stats;
+}
+
+// --- ConcurrentHttpServer ----------------------------------------------------
+
+ConcurrentHttpServer::ConcurrentHttpServer(wasp::Runtime* runtime, wasp::HostEnv* env,
+                                           ConcurrentServerOptions options)
+    : options_(options),
+      inner_(runtime, env),
+      executor_(runtime, wasp::ExecutorOptions{options.lanes, options.max_queue_depth,
+                                               options.block_when_full}) {}
+
+std::future<vbase::Result<ServeStats>> ConcurrentHttpServer::SubmitConnection(
+    wasp::ByteChannel& channel, ServeMode mode) {
+  AtomicCounters& ctr = counters_[static_cast<size_t>(mode)];
+  auto done = std::make_shared<std::promise<vbase::Result<ServeStats>>>();
+  std::future<vbase::Result<ServeStats>> resolved = done->get_future();
+  std::string key =
+      mode == ServeMode::kVirtineSnapshot ? std::string(kStaticHandlerKey) : std::string();
+  const bool accepted = executor_.TrySubmitTask(
+      [this, &channel, mode, done, &ctr]() -> wasp::RunOutcome {
+        vbase::Result<ServeStats> stats = inner_.HandleConnection(channel, mode);
+        if (stats.ok()) {
+          const int status = stats->status;
+          if (status >= 200 && status < 300) {
+            ctr.status_2xx.fetch_add(1, std::memory_order_relaxed);
+          } else if (status >= 400 && status < 500) {
+            ctr.status_4xx.fetch_add(1, std::memory_order_relaxed);
+          } else if (status >= 500) {
+            ctr.status_5xx.fetch_add(1, std::memory_order_relaxed);
+          }
+          ctr.modeled_cycles.fetch_add(stats->modeled_cycles, std::memory_order_relaxed);
+          ctr.io_exits.fetch_add(stats->io_exits, std::memory_order_relaxed);
+        } else {
+          ctr.errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        ctr.completed.fetch_add(1, std::memory_order_relaxed);
+        done->set_value(std::move(stats));
+        return wasp::RunOutcome{};
+      },
+      /*future=*/nullptr, std::move(key));
+  if (!accepted) {
+    // Load shedding: answer on the submitter's thread so the client sees a
+    // well-formed 503 instead of a silently dropped connection.
+    ctr.rejected.fetch_add(1, std::memory_order_relaxed);
+    channel.guest().WriteString(BuildResponse(503, ""));
+    ServeStats shed;
+    shed.status = 503;
+    done->set_value(shed);
+    return resolved;
+  }
+  ctr.accepted.fetch_add(1, std::memory_order_relaxed);
+  return resolved;
+}
+
+ServerCounters ConcurrentHttpServer::counters(ServeMode mode) const {
+  const AtomicCounters& ctr = counters_[static_cast<size_t>(mode)];
+  ServerCounters out;
+  out.accepted = ctr.accepted.load(std::memory_order_relaxed);
+  out.rejected = ctr.rejected.load(std::memory_order_relaxed);
+  out.completed = ctr.completed.load(std::memory_order_relaxed);
+  out.errors = ctr.errors.load(std::memory_order_relaxed);
+  out.status_2xx = ctr.status_2xx.load(std::memory_order_relaxed);
+  out.status_4xx = ctr.status_4xx.load(std::memory_order_relaxed);
+  out.status_5xx = ctr.status_5xx.load(std::memory_order_relaxed);
+  out.modeled_cycles = ctr.modeled_cycles.load(std::memory_order_relaxed);
+  out.io_exits = ctr.io_exits.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace vnet

@@ -4,19 +4,29 @@
 //   timestamps its startup milestones with in-guest rdtsc.
 // * StaticHandlerSource(): the static-file guest handler (Figure 13) that
 //   performs exactly the paper's seven host interactions per request:
-//   recv, stat, open, read, send, close, exit.
+//   recv, stat, open, read, send, close, exit — and validates the request
+//   (complete header block, Host on HTTP/1.1) before touching any file.
 // * StaticHttpServer: serves one connection per request either natively
 //   (host C++ handler, the baseline) or in a fresh virtine (with or without
 //   snapshotting).
+// * ConcurrentHttpServer: the executor-backed front end — every connection
+//   is dispatched as a job on a wasp::Executor, so N lanes serve N
+//   connections concurrently and bounded admission (reject mode answers
+//   overflow connections with an immediate 503) makes burst overload a
+//   first-class behavior.  This is the serving path Figure 13's lane sweep
+//   measures.
 #ifndef SRC_VNET_SERVER_H_
 #define SRC_VNET_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <future>
 #include <string>
 
 #include "src/base/status.h"
 #include "src/isa/image.h"
 #include "src/wasp/channel.h"
+#include "src/wasp/executor.h"
 #include "src/wasp/host_env.h"
 #include "src/wasp/runtime.h"
 
@@ -54,6 +64,8 @@ class StaticHttpServer {
 
   // Handles exactly one request that the client has already written to
   // `channel.host()`.  The response is written back to the channel.
+  // Thread-safe: concurrent connections share only the runtime (sharded
+  // pool + read-mostly snapshot store) and the mutex-guarded HostEnv.
   vbase::Result<ServeStats> HandleConnection(wasp::ByteChannel& channel, ServeMode mode);
 
   const visa::Image& handler_image() const { return handler_image_; }
@@ -65,6 +77,72 @@ class StaticHttpServer {
   wasp::Runtime* runtime_;
   wasp::HostEnv* env_;
   visa::Image handler_image_;
+};
+
+struct ConcurrentServerOptions {
+  int lanes = 4;                // executor workers serving connections
+  size_t max_queue_depth = 0;   // bounded admission; 0 = unbounded
+  // Full-queue policy: block the submitter until a lane frees (closed-loop
+  // clients) or answer the connection with an immediate 503 (load shedding).
+  bool block_when_full = true;
+};
+
+// Monotone per-mode aggregates over everything a server instance served.
+struct ServerCounters {
+  uint64_t accepted = 0;       // connections admitted to the executor queue
+  uint64_t rejected = 0;       // connections shed with a 503 at admission
+  uint64_t completed = 0;      // handler ran to completion (any status)
+  uint64_t errors = 0;         // handler returned a non-OK status
+  uint64_t status_2xx = 0;
+  uint64_t status_4xx = 0;
+  uint64_t status_5xx = 0;
+  uint64_t modeled_cycles = 0;  // summed modeled service cost
+  uint64_t io_exits = 0;        // summed hypercall exits (virtine modes)
+};
+
+// The concurrent serving stack: StaticHttpServer's per-connection logic
+// dispatched through a dedicated wasp::Executor.
+class ConcurrentHttpServer {
+ public:
+  // `env` holds the served files; must outlive the server.  The destructor
+  // drains every accepted connection before returning.
+  ConcurrentHttpServer(wasp::Runtime* runtime, wasp::HostEnv* env,
+                       ConcurrentServerOptions options = {});
+
+  // Dispatches one connection (request already written to `channel.host()`)
+  // through the executor; the future resolves with the connection's
+  // ServeStats once a lane has served it.  The caller keeps `channel` alive
+  // until the future resolves.  When bounded admission rejects the
+  // connection, a 503 response is written to the channel immediately and
+  // the returned future is already resolved with status 503.
+  std::future<vbase::Result<ServeStats>> SubmitConnection(wasp::ByteChannel& channel,
+                                                          ServeMode mode);
+
+  ServerCounters counters(ServeMode mode) const;
+  wasp::ExecutorStats executor_stats() const { return executor_.stats(); }
+  size_t queue_depth() const { return executor_.queue_depth(); }
+  const ConcurrentServerOptions& options() const { return options_; }
+  int lanes() const { return static_cast<int>(executor_.workers()); }
+
+ private:
+  struct AtomicCounters {
+    std::atomic<uint64_t> accepted{0};
+    std::atomic<uint64_t> rejected{0};
+    std::atomic<uint64_t> completed{0};
+    std::atomic<uint64_t> errors{0};
+    std::atomic<uint64_t> status_2xx{0};
+    std::atomic<uint64_t> status_4xx{0};
+    std::atomic<uint64_t> status_5xx{0};
+    std::atomic<uint64_t> modeled_cycles{0};
+    std::atomic<uint64_t> io_exits{0};
+  };
+
+  ConcurrentServerOptions options_;
+  StaticHttpServer inner_;
+  AtomicCounters counters_[3];  // indexed by ServeMode
+  // Declared last: its destructor drains queued connection jobs, which still
+  // touch inner_ and counters_, so it must be destroyed first.
+  wasp::Executor executor_;
 };
 
 }  // namespace vnet

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
-#include <queue>
 
 #include "src/base/clock.h"
 #include "src/base/rng.h"
@@ -29,6 +28,15 @@ vbase::Status Vespid::Register(const std::string& name, const std::string& micro
   }
   functions_.push_back(Fn{name, std::move(*image)});
   return vbase::Status::Ok();
+}
+
+const Vespid::Fn* Vespid::FindFunction(const std::string& name) const {
+  for (const Fn& f : functions_) {
+    if (f.name == name) {
+      return &f;
+    }
+  }
+  return nullptr;
 }
 
 namespace {
@@ -57,17 +65,61 @@ Vespid::Invocation MakeInvocation(wasp::RunOutcome&& outcome) {
   return inv;
 }
 
+// One served request on the virtual timeline, however its completion time
+// was produced (analytic model or measured replay).
+struct ServedEvent {
+  double arrival_us;
+  double done_us;
+  bool cold;
+};
+
+// Folds served events (in arrival order) into the Figure 15 timeline: 1 s
+// buckets with offered/completed rates, per-arrival-bucket latency stats,
+// and cold-start counts.  Shared by the simulator and the replay so the two
+// halves of the figure can never drift in bucketing rules.
+SimResult AssembleSimResult(const std::vector<ServedEvent>& events) {
+  SimResult result;
+  std::vector<double> latencies;
+  latencies.reserve(events.size());
+  std::map<int64_t, SimPoint> buckets;
+  std::map<int64_t, std::vector<double>> bucket_lats;
+  for (const ServedEvent& ev : events) {
+    const double latency = ev.done_us - ev.arrival_us;
+    latencies.push_back(latency);
+    const int64_t bucket = static_cast<int64_t>(ev.arrival_us / 1e6);
+    SimPoint& point = buckets[bucket];
+    point.t_s = static_cast<double>(bucket);
+    point.offered_rps += 1;
+    point.mean_latency_us += latency;  // sum; normalized below
+    if (ev.cold) {
+      ++point.cold_starts;
+      ++result.total_cold_starts;
+    }
+    const int64_t done_bucket = static_cast<int64_t>(ev.done_us / 1e6);
+    buckets[done_bucket].t_s = static_cast<double>(done_bucket);
+    buckets[done_bucket].completed_rps += 1;
+    ++result.total_requests;
+    bucket_lats[bucket].push_back(latency);
+  }
+  for (auto& [bucket, point] : buckets) {
+    if (point.offered_rps > 0) {
+      point.mean_latency_us /= point.offered_rps;
+    }
+    auto it = bucket_lats.find(bucket);
+    if (it != bucket_lats.end()) {
+      point.p99_latency_us = vbase::Quantile(it->second, 0.99);
+    }
+    result.timeline.push_back(point);
+  }
+  result.latency_us = vbase::Summarize(latencies);
+  return result;
+}
+
 }  // namespace
 
 vbase::Result<Vespid::Invocation> Vespid::Invoke(const std::string& name,
                                                  const std::vector<uint8_t>& payload) {
-  const Fn* fn = nullptr;
-  for (const Fn& f : functions_) {
-    if (f.name == name) {
-      fn = &f;
-      break;
-    }
-  }
+  const Fn* fn = FindFunction(name);
   if (fn == nullptr) {
     return vbase::NotFound("no such function: " + name);
   }
@@ -85,13 +137,7 @@ vbase::Result<Vespid::Invocation> Vespid::Invoke(const std::string& name,
 vbase::Result<Vespid::BatchResult> Vespid::InvokeBatch(
     const std::string& name, const std::vector<std::vector<uint8_t>>& payloads,
     int concurrency) {
-  const Fn* fn = nullptr;
-  for (const Fn& f : functions_) {
-    if (f.name == name) {
-      fn = &f;
-      break;
-    }
-  }
+  const Fn* fn = FindFunction(name);
   if (fn == nullptr) {
     return vbase::NotFound("no such function: " + name);
   }
@@ -116,28 +162,81 @@ vbase::Result<Vespid::BatchResult> Vespid::InvokeBatch(
   return batch;
 }
 
+vbase::Result<Vespid::ReplayResult> Vespid::ReplayBurstyLoad(
+    const std::string& name, const std::vector<LoadPhase>& phases,
+    const std::vector<uint8_t>& payload, const ReplayOptions& options) {
+  const Fn* fn = FindFunction(name);
+  if (fn == nullptr) {
+    return vbase::NotFound("no such function: " + name);
+  }
+  const std::vector<double> arrivals = GenerateArrivalTrace(phases, options.seed);
+  const int lanes = std::max(options.concurrency, 1);
+
+  // --- Measure: one real invocation per trace arrival -----------------------
+  // Every request goes through the executor (bounded worker pool, keyed
+  // snapshot affinity), so pool contention, snapshot restores, and the cold
+  // first touch are the real platform's, not a model's.  Dispatch is open
+  // loop: all requests are submitted up front, in arrival order.
+  vbase::WallTimer timer;
+  ReplayResult replay;
+  std::vector<double> service_us;
+  std::vector<bool> cold;
+  {
+    wasp::Executor executor(runtime_, wasp::ExecutorOptions{lanes, 0, true});
+    std::vector<std::future<wasp::RunOutcome>> futures;
+    futures.reserve(arrivals.size());
+    for (size_t i = 0; i < arrivals.size(); ++i) {
+      futures.push_back(executor.Submit(MakeVespidSpec(fn->name, &fn->image, &payload)));
+    }
+    service_us.reserve(futures.size());
+    cold.reserve(futures.size());
+    double warm_sum = 0;
+    double cold_sum = 0;
+    for (std::future<wasp::RunOutcome>& f : futures) {
+      wasp::RunOutcome outcome = f.get();
+      if (!outcome.status.ok()) {
+        return outcome.status;
+      }
+      const double us = vbase::CyclesToMicros(outcome.stats.total_cycles);
+      const bool was_cold = !outcome.stats.restored_snapshot;
+      service_us.push_back(us);
+      cold.push_back(was_cold);
+      if (was_cold) {
+        ++replay.cold_invocations;
+        cold_sum += us;
+      } else {
+        warm_sum += us;
+      }
+    }
+    const uint64_t warm_count = service_us.size() - replay.cold_invocations;
+    replay.measured_warm_us = warm_count > 0 ? warm_sum / static_cast<double>(warm_count) : 0;
+    replay.measured_cold_us =
+        replay.cold_invocations > 0 ? cold_sum / static_cast<double>(replay.cold_invocations)
+                                    : 0;
+  }
+  replay.wall_ns = timer.ElapsedNanos();
+
+  // --- Assemble: measured services on the trace's virtual timeline ----------
+  // `lanes` serving lanes in virtual time, FIFO in arrival order: request i
+  // starts at max(arrival, earliest lane free) and occupies its lane for its
+  // *measured* service time (a cold invocation's measured cost already
+  // carries the boot-instead-of-restore extra).  The lane discipline is the
+  // shared LaneSchedule (fig13's closed loop uses the same one); bucketing
+  // is shared with SimulateBurstyLoad via AssembleSimResult.
+  LaneSchedule schedule(lanes);
+  std::vector<ServedEvent> events;
+  events.reserve(arrivals.size());
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    events.push_back(
+        ServedEvent{arrivals[i], schedule.Place(arrivals[i], service_us[i]), cold[i]});
+  }
+  replay.sim = AssembleSimResult(events);
+  return replay;
+}
+
 SimResult SimulateBurstyLoad(const std::vector<LoadPhase>& phases, const ExecutorModel& model,
                              uint64_t seed) {
-  // Generate arrival times (uniform spacing with +/-25% jitter within each
-  // phase so bursts are not perfectly synchronized).
-  vbase::Rng rng(seed);
-  std::vector<double> arrivals_us;
-  double t = 0;
-  for (const LoadPhase& phase : phases) {
-    const double end = t + phase.duration_s * 1e6;
-    if (phase.rps <= 0) {
-      t = end;
-      continue;
-    }
-    const double gap = 1e6 / phase.rps;
-    double at = t;
-    while (at < end) {
-      arrivals_us.push_back(at + gap * 0.25 * (rng.NextDouble() - 0.5));
-      at += gap;
-    }
-    t = end;
-  }
-  std::sort(arrivals_us.begin(), arrivals_us.end());
+  const std::vector<double> arrivals_us = GenerateArrivalTrace(phases, seed);
 
   // Instance state: busy-until time and last-used time per instance.
   struct Instance {
@@ -145,9 +244,8 @@ SimResult SimulateBurstyLoad(const std::vector<LoadPhase>& phases, const Executo
     double last_used_us = 0;
   };
   std::vector<Instance> instances;
-  SimResult result;
-  std::vector<double> latencies;
-  std::map<int64_t, SimPoint> buckets;
+  std::vector<ServedEvent> events;
+  events.reserve(arrivals_us.size());
 
   for (const double arrival : arrivals_us) {
     // Reclaim idle instances (container platforms tear warm instances down).
@@ -182,44 +280,9 @@ SimResult SimulateBurstyLoad(const std::vector<LoadPhase>& phases, const Executo
     const double done = start_us + service;
     chosen->busy_until_us = done;
     chosen->last_used_us = done;
-
-    const double latency = done - arrival;
-    latencies.push_back(latency);
-    const int64_t bucket = static_cast<int64_t>(arrival / 1e6);
-    SimPoint& point = buckets[bucket];
-    point.t_s = static_cast<double>(bucket);
-    point.offered_rps += 1;
-    point.mean_latency_us += latency;  // sum; normalized below
-    if (cold) {
-      ++point.cold_starts;
-      ++result.total_cold_starts;
-    }
-    const int64_t done_bucket = static_cast<int64_t>(done / 1e6);
-    buckets[done_bucket].t_s = static_cast<double>(done_bucket);
-    buckets[done_bucket].completed_rps += 1;
-    ++result.total_requests;
+    events.push_back(ServedEvent{arrival, done, cold});
   }
-
-  // Normalize buckets and compute per-bucket p99.
-  std::map<int64_t, std::vector<double>> bucket_lats;
-  {
-    size_t i = 0;
-    for (const double arrival : arrivals_us) {
-      bucket_lats[static_cast<int64_t>(arrival / 1e6)].push_back(latencies[i++]);
-    }
-  }
-  for (auto& [bucket, point] : buckets) {
-    if (point.offered_rps > 0) {
-      point.mean_latency_us /= point.offered_rps;
-    }
-    auto it = bucket_lats.find(bucket);
-    if (it != bucket_lats.end()) {
-      point.p99_latency_us = vbase::Quantile(it->second, 0.99);
-    }
-    result.timeline.push_back(point);
-  }
-  result.latency_us = vbase::Summarize(latencies);
-  return result;
+  return AssembleSimResult(events);
 }
 
 }  // namespace vnet

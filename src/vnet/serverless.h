@@ -7,13 +7,16 @@
 // deployment.  Because this reproduction has no Docker/OpenWhisk, the
 // container platform is an explicit analytic model (DESIGN.md §2):
 // cold-start and warm-start service costs are constants calibrated to
-// published container cold-start measurements, while the *virtine* platform
-// costs come from real invocations measured on this machine.
+// published container cold-start measurements.
 //
-// The bursty open-loop experiment (ramp up, two bursts, ramp down — the
-// paper's Locust pattern) is evaluated in virtual time with a discrete-event
-// simulator over per-request service times, which keeps the experiment
-// deterministic and machine-independent.
+// The *virtine* platform is measured, not modeled: ReplayBurstyLoad drives
+// the paper's bursty open-loop pattern (ramp up, two bursts, ramp down —
+// the Locust profile) through the real wasp::Executor, one virtine
+// invocation per trace arrival, and lays the measured per-request service
+// costs onto the trace's virtual timeline.  Both platforms emit the same
+// SimResult currency over the same arrival trace (vnet::GenerateArrivalTrace
+// with the same seed), so Figure 15 compares a measured virtine platform
+// against the calibrated container baseline bucket for bucket.
 #ifndef SRC_VNET_SERVERLESS_H_
 #define SRC_VNET_SERVERLESS_H_
 
@@ -24,11 +27,50 @@
 #include "src/base/stats.h"
 #include "src/base/status.h"
 #include "src/isa/image.h"
+#include "src/vnet/loadgen.h"
 #include "src/wasp/runtime.h"
 
 namespace vnet {
 
+// --- Bursty-load timeline (Figure 15) ---------------------------------------
+
+struct SimPoint {
+  double t_s;            // timeline bucket
+  double offered_rps;    // arrivals in the bucket
+  double completed_rps;  // completions in the bucket
+  double mean_latency_us;
+  double p99_latency_us;
+  uint64_t cold_starts;
+};
+
+struct SimResult {
+  std::vector<SimPoint> timeline;  // 1-second buckets
+  vbase::Summary latency_us;
+  uint64_t total_requests = 0;
+  uint64_t total_cold_starts = 0;
+};
+
+// An executor model: how long one invocation occupies a worker, and what a
+// cold start costs.
+struct ExecutorModel {
+  std::string name;
+  double warm_service_us;   // service time with a warm instance
+  double cold_extra_us;     // additional first-use cost of a new instance
+  int max_instances;        // concurrency cap
+  double idle_timeout_s;    // instance reclaim after idleness
+};
+
+// Runs the open-loop pattern against an executor model in virtual time
+// (the container baseline; the virtine side uses Vespid::ReplayBurstyLoad).
+SimResult SimulateBurstyLoad(const std::vector<LoadPhase>& phases, const ExecutorModel& model,
+                             uint64_t seed = 42);
+
 // --- Vespid: virtine-backed function platform -------------------------------
+
+struct ReplayOptions {
+  int concurrency = 8;  // executor lanes = the platform's serving width
+  uint64_t seed = 42;   // must match the simulator's to share the trace
+};
 
 class Vespid {
  public:
@@ -63,51 +105,40 @@ class Vespid {
                                          const std::vector<std::vector<uint8_t>>& payloads,
                                          int concurrency);
 
+  struct ReplayResult {
+    // Same timeline currency as SimulateBurstyLoad: per-request latency is
+    // virtual queue wait plus the *measured* modeled service cost of that
+    // request's real invocation, with cold starts flagged from the real
+    // snapshot path (a request is cold iff its invocation found no snapshot
+    // and booted from the image).
+    SimResult sim;
+    double measured_warm_us = 0;   // mean measured service of warm invocations
+    double measured_cold_us = 0;   // mean measured service of cold invocations
+    uint64_t cold_invocations = 0;
+    uint64_t wall_ns = 0;          // real elapsed time of the replay
+  };
+
+  // Replays the bursty arrival trace with one *real* executor-driven
+  // invocation per arrival: submits every request to a wasp::Executor with
+  // `concurrency` workers (keyed snapshot affinity engaged), measures each
+  // invocation's modeled service cost and cold/warm outcome, then assembles
+  // the Figure 15 timeline by queueing those measured services over
+  // `concurrency` serving lanes at the trace's virtual arrival times.
+  vbase::Result<ReplayResult> ReplayBurstyLoad(const std::string& name,
+                                               const std::vector<LoadPhase>& phases,
+                                               const std::vector<uint8_t>& payload,
+                                               const ReplayOptions& options = {});
+
  private:
   struct Fn {
     std::string name;
     visa::Image image;
   };
+  const Fn* FindFunction(const std::string& name) const;
+
   wasp::Runtime* runtime_;
   std::vector<Fn> functions_;
 };
-
-// --- Bursty-load simulation (Figure 15) ---------------------------------------
-
-struct LoadPhase {
-  double rps;         // arrival rate during the phase
-  double duration_s;  // phase length
-};
-
-// An executor model: how long one invocation occupies a worker, and what a
-// cold start costs.
-struct ExecutorModel {
-  std::string name;
-  double warm_service_us;   // service time with a warm instance
-  double cold_extra_us;     // additional first-use cost of a new instance
-  int max_instances;        // concurrency cap
-  double idle_timeout_s;    // instance reclaim after idleness
-};
-
-struct SimPoint {
-  double t_s;            // timeline bucket
-  double offered_rps;    // arrivals in the bucket
-  double completed_rps;  // completions in the bucket
-  double mean_latency_us;
-  double p99_latency_us;
-  uint64_t cold_starts;
-};
-
-struct SimResult {
-  std::vector<SimPoint> timeline;  // 1-second buckets
-  vbase::Summary latency_us;
-  uint64_t total_requests = 0;
-  uint64_t total_cold_starts = 0;
-};
-
-// Runs the open-loop pattern against an executor model in virtual time.
-SimResult SimulateBurstyLoad(const std::vector<LoadPhase>& phases, const ExecutorModel& model,
-                             uint64_t seed = 42);
 
 }  // namespace vnet
 

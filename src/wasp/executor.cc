@@ -2,15 +2,21 @@
 
 #include <algorithm>
 #include <atomic>
+#include <utility>
 
 #include "src/base/clock.h"
 #include "src/base/log.h"
 
 namespace wasp {
 
-Executor::Executor(Runtime* runtime, int workers) : runtime_(runtime) {
+Executor::Executor(Runtime* runtime, int workers)
+    : Executor(runtime, ExecutorOptions{workers, 0, true}) {}
+
+Executor::Executor(Runtime* runtime, ExecutorOptions options)
+    : runtime_(runtime), options_(options) {
   VB_CHECK(runtime_ != nullptr, "Executor requires a runtime");
-  const int n = std::max(workers, 1);
+  const int n = std::max(options_.workers, 1);
+  options_.workers = n;
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -23,6 +29,7 @@ Executor::~Executor() {
     stop_ = true;
   }
   cv_.notify_all();
+  cv_space_.notify_all();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) {
       worker.join();
@@ -30,17 +37,93 @@ Executor::~Executor() {
   }
 }
 
-std::future<RunOutcome> Executor::Submit(VirtineSpec spec) {
-  Job job;
-  job.spec = std::move(spec);
-  std::future<RunOutcome> future = job.promise.get_future();
+Executor::Task Executor::MakeInvokeTask(VirtineSpec spec) {
+  return [runtime = runtime_, spec = std::move(spec)] { return runtime->Invoke(spec); };
+}
+
+bool Executor::Enqueue(Job job, bool may_reject, std::future<RunOutcome>* future) {
+  std::future<RunOutcome> resolved = job.promise.get_future();
+  bool accepted = true;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    VB_CHECK(!stop_, "Submit on a stopped executor");
-    queue_.push_back(std::move(job));
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!stop_ && options_.max_queue_depth > 0) {
+      if (may_reject && !options_.block_when_full &&
+          queue_.size() >= options_.max_queue_depth) {
+        ++stats_.rejected;
+        return false;  // job (and its promise) dropped; caller sheds load
+      }
+      cv_space_.wait(lock, [this] {
+        return stop_ || queue_.size() < options_.max_queue_depth;
+      });
+    }
+    if (stop_) {
+      // Teardown raced the submission (blocking admission makes long parks
+      // inside Enqueue routine): fail it recoverably instead of aborting.
+      ++stats_.rejected;
+      accepted = false;
+    } else {
+      queue_.push_back(std::move(job));
+      ++stats_.submitted;
+      stats_.peak_queue_depth = std::max<uint64_t>(stats_.peak_queue_depth, queue_.size());
+    }
+  }
+  if (!accepted) {
+    RunOutcome outcome;
+    outcome.status = vbase::Aborted("executor stopped during submit");
+    job.promise.set_value(std::move(outcome));
+    if (future != nullptr) {
+      *future = std::move(resolved);  // already resolved with the error
+    }
+    return false;
   }
   cv_.notify_one();
+  if (future != nullptr) {
+    *future = std::move(resolved);
+  }
+  return true;
+}
+
+std::future<RunOutcome> Executor::Submit(VirtineSpec spec) {
+  Job job;
+  job.key = spec.use_snapshot ? spec.key : std::string();
+  job.work = MakeInvokeTask(std::move(spec));
+  std::future<RunOutcome> future;
+  Enqueue(std::move(job), /*may_reject=*/false, &future);
   return future;
+}
+
+bool Executor::TrySubmit(VirtineSpec spec, std::future<RunOutcome>* future) {
+  Job job;
+  job.key = spec.use_snapshot ? spec.key : std::string();
+  job.work = MakeInvokeTask(std::move(spec));
+  return Enqueue(std::move(job), /*may_reject=*/true, future);
+}
+
+std::future<RunOutcome> Executor::SubmitTask(Task task, std::string affinity_key) {
+  Job job;
+  job.key = std::move(affinity_key);
+  job.work = std::move(task);
+  std::future<RunOutcome> future;
+  Enqueue(std::move(job), /*may_reject=*/false, &future);
+  return future;
+}
+
+bool Executor::TrySubmitTask(Task task, std::future<RunOutcome>* future,
+                             std::string affinity_key) {
+  Job job;
+  job.key = std::move(affinity_key);
+  job.work = std::move(task);
+  return Enqueue(std::move(job), /*may_reject=*/true, future);
+}
+
+size_t Executor::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+ExecutorStats Executor::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 void Executor::WorkerLoop() {
@@ -66,7 +149,7 @@ void Executor::WorkerLoop() {
       if (!last_key.empty() && skips < kMaxConsecutiveSkips) {
         const size_t scan = std::min(queue_.size(), kAffinityScan);
         for (size_t i = 0; i < scan; ++i) {
-          if (queue_[i].spec.use_snapshot && queue_[i].spec.key == last_key) {
+          if (!queue_[i].key.empty() && queue_[i].key == last_key) {
             pick = i;
             break;
           }
@@ -76,8 +159,13 @@ void Executor::WorkerLoop() {
       job = std::move(queue_[pick]);
       queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(pick));
     }
-    last_key = job.spec.use_snapshot ? job.spec.key : std::string();
-    job.promise.set_value(runtime_->Invoke(job.spec));
+    cv_space_.notify_one();
+    last_key = job.key;
+    job.promise.set_value(job.work());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.completed;
+    }
   }
 }
 

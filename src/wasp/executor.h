@@ -1,15 +1,28 @@
 // wasp::Executor — the multicore invocation driver.
 //
-// The paper's serverless case study (Vespid, Figure 15) lives or dies on
-// sustaining *bursts* of concurrent invocations; a single-lane Invoke()
-// cannot express that.  The executor adds two concurrent entry points on
-// top of Runtime::Invoke:
+// The paper's serving case studies (the Figure 13 HTTP server, the Figure 15
+// Vespid burst pattern) live or die on sustaining *bursts* of concurrent
+// invocations; a single-lane Invoke() cannot express that.  The executor
+// adds concurrent entry points on top of Runtime::Invoke:
 //
 //   * Submit(spec) — enqueue one invocation on a fixed worker pool and get
-//     a std::future<RunOutcome> back (the Runtime::InvokeAsync path), and
+//     a std::future<RunOutcome> back (the Runtime::InvokeAsync path),
+//   * TrySubmit(spec, &future) — same, but subject to the configured
+//     bounded-admission policy (see ExecutorOptions below),
+//   * SubmitTask(fn) / TrySubmitTask(fn, &future) — enqueue an arbitrary
+//     serving task on the same queue and workers (the ConcurrentHttpServer
+//     dispatches whole HTTP connections this way, so admission control and
+//     lane accounting cover native and virtine handlers alike), and
 //   * Run(runtime, specs, concurrency) — run a batch of invocations across
-//     `concurrency` worker threads (striped static assignment, so lane
-//     loads are deterministic) and return the outcomes in submission order.
+//     `concurrency` transient worker threads (striped static assignment, so
+//     lane loads are deterministic) and return outcomes in submission order.
+//
+// Bounded admission makes burst overload a first-class, testable behavior
+// instead of an unbounded queue: with max_queue_depth set, a full queue
+// either blocks the submitter (block_when_full, closed-loop clients) or
+// rejects the job so the caller can shed load (an HTTP 503, an open-loop
+// generator dropping requests).  ExecutorStats counts accepts, rejections,
+// completions, and the peak queue depth so tests can assert the policy.
 //
 // Invocations are independent by construction (each owns its shell, its
 // hypercall frame, and its fd table), so the only shared state a worker
@@ -21,21 +34,46 @@
 // currency the scaling benchmark uses to compare 1/2/4/8-lane throughput.
 //
 // Lifetime: specs hold non-owning pointers (image, input, channel); the
-// caller keeps those alive until the future resolves / Run returns.
+// caller keeps those alive until the future resolves / Run returns.  The
+// destructor drains the queue — every accepted job runs to completion and
+// resolves its future — before joining the workers.
 #ifndef SRC_WASP_EXECUTOR_H_
 #define SRC_WASP_EXECUTOR_H_
 
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "src/wasp/runtime.h"
 
 namespace wasp {
+
+// Bounded-admission knobs (the backpressure half of the scale-out engine).
+struct ExecutorOptions {
+  int workers = 2;
+  // Maximum queued (not yet running) jobs; 0 = unbounded.
+  size_t max_queue_depth = 0;
+  // Full-queue policy for TrySubmit / TrySubmitTask: block until a slot
+  // frees (never reject — closed-loop semantics) or refuse the job so the
+  // caller sheds load (open-loop semantics).  Blocking Submit/SubmitTask
+  // always wait for space regardless of this flag.
+  bool block_when_full = true;
+};
+
+// Monotone admission/progress counters (BatchStats' sibling for the
+// long-lived submission path).
+struct ExecutorStats {
+  uint64_t submitted = 0;         // jobs accepted into the queue
+  uint64_t rejected = 0;          // jobs refused (bounded admission or shutdown)
+  uint64_t completed = 0;         // jobs run to completion
+  uint64_t peak_queue_depth = 0;  // high-water mark of the queue
+};
 
 class Executor {
  public:
@@ -54,16 +92,41 @@ class Executor {
     }
   };
 
-  Executor(Runtime* runtime, int workers);
-  ~Executor();  // drains the queue, then joins the workers
+  // An arbitrary serving task run on an executor worker.  The returned
+  // RunOutcome resolves the job's future (tasks that track their results
+  // elsewhere may return a default outcome).
+  using Task = std::function<RunOutcome()>;
+
+  Executor(Runtime* runtime, int workers);  // unbounded queue, blocking
+  Executor(Runtime* runtime, ExecutorOptions options);
+  ~Executor();  // drains the queue (all accepted futures resolve), then joins
 
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
 
   // Enqueues one invocation; the future resolves with its RunOutcome.
+  // Waits for queue space when bounded admission is full.  If the executor
+  // is (or starts) shutting down while the submitter waits, the returned
+  // future resolves with an Aborted outcome instead of running.
   std::future<RunOutcome> Submit(VirtineSpec spec);
 
+  // Admission-checked enqueue.  Returns false — and does not enqueue — when
+  // the queue is at max_queue_depth and the policy is reject, or when the
+  // submission races executor shutdown; otherwise (including blocking until
+  // space in block_when_full mode) stores the outcome future in `*future`
+  // and returns true.
+  bool TrySubmit(VirtineSpec spec, std::future<RunOutcome>* future);
+
+  // Task variants of the same two entry points.  `affinity_key` feeds the
+  // workers' keyed-dequeue affinity scan (empty = no affinity).
+  std::future<RunOutcome> SubmitTask(Task task, std::string affinity_key = {});
+  bool TrySubmitTask(Task task, std::future<RunOutcome>* future,
+                     std::string affinity_key = {});
+
   size_t workers() const { return workers_.size(); }
+  size_t queue_depth() const;
+  ExecutorStats stats() const;
+  const ExecutorOptions& options() const { return options_; }
 
   // Runs `specs` to completion over `concurrency` transient worker threads;
   // outcomes are returned in spec order.  `stats` (optional) receives the
@@ -73,16 +136,25 @@ class Executor {
 
  private:
   struct Job {
-    VirtineSpec spec;
+    std::string key;  // snapshot-affinity hint; empty = none
+    Task work;
     std::promise<RunOutcome> promise;
   };
 
+  // Shared enqueue path.  `may_reject` selects TrySubmit semantics (honor
+  // the configured full-queue policy) over Submit semantics (always block
+  // for space).
+  bool Enqueue(Job job, bool may_reject, std::future<RunOutcome>* future);
+  Task MakeInvokeTask(VirtineSpec spec);
   void WorkerLoop();
 
   Runtime* runtime_;
-  std::mutex mu_;
-  std::condition_variable cv_;
+  ExecutorOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // queue became non-empty / stopping
+  std::condition_variable cv_space_;  // queue slot freed
   std::deque<Job> queue_;
+  ExecutorStats stats_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

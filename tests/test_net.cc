@@ -3,6 +3,9 @@
 // platform, and the bursty-load simulator.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+
 #include "src/base/rng.h"
 #include "src/vjs/vjs.h"
 #include "src/vnet/http.h"
@@ -122,6 +125,143 @@ INSTANTIATE_TEST_SUITE_P(Modes, ServerModeTest,
                            }
                          });
 
+// --- Robustness: malformed connections must never crash or hang ---------------
+// Every case holds in all three modes: the native handler validates via the
+// host parser, the virtine handler validates inside the guest (complete
+// header block, Host on HTTP/1.1) before touching any file.
+
+TEST_P(ServerModeTest, TruncatedRequestLineGets400) {
+  wasp::Runtime runtime;
+  wasp::HostEnv files;
+  files.PutFile("/f.txt", std::string(100, 'z'));
+  vnet::StaticHttpServer server(&runtime, &files);
+  wasp::ByteChannel channel;
+  channel.host().WriteString("GET /f.t");  // no CRLF, no header block
+  auto stats = server.HandleConnection(channel, GetParam());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->status, 400);
+  const auto resp = channel.host().Drain();
+  EXPECT_EQ(std::string(resp.begin(), resp.end()).rfind("HTTP/1.0 400", 0), 0u);
+}
+
+TEST_P(ServerModeTest, OversizedHeaderGets400) {
+  wasp::Runtime runtime;
+  wasp::HostEnv files;
+  files.PutFile("/f.txt", std::string(100, 'z'));
+  vnet::StaticHttpServer server(&runtime, &files);
+  wasp::ByteChannel channel;
+  // The header block exceeds the 2 KB request window, so its terminator is
+  // never seen: the server must shed it cleanly, not serve a half-parse.
+  channel.host().WriteString("GET /f.txt HTTP/1.0\r\nX-Big: " + std::string(4000, 'a') +
+                             "\r\n\r\n");
+  auto stats = server.HandleConnection(channel, GetParam());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->status, 400);
+}
+
+TEST_P(ServerModeTest, MissingHostOnHttp11Gets400) {
+  wasp::Runtime runtime;
+  wasp::HostEnv files;
+  files.PutFile("/f.txt", std::string(100, 'z'));
+  vnet::StaticHttpServer server(&runtime, &files);
+  {
+    wasp::ByteChannel channel;
+    channel.host().WriteString("GET /f.txt HTTP/1.1\r\n\r\n");
+    auto stats = server.HandleConnection(channel, GetParam());
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->status, 400);
+  }
+  {
+    // With a Host header the same HTTP/1.1 request serves normally.
+    wasp::ByteChannel channel;
+    channel.host().WriteString("GET /f.txt HTTP/1.1\r\nHost: tinker\r\n\r\n");
+    auto stats = server.HandleConnection(channel, GetParam());
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->status, 200);
+  }
+  // Parity regressions: the guest scanner and the host parser must answer
+  // the same bytes with the same status in every mode.
+  for (const char* present : {
+           "GET /f.txt HTTP/1.1\r\nHost:\r\n\r\n",          // empty value counts as present
+           "GET /f.txt HTTP/1.1\r\nHost : tinker\r\n\r\n",  // obsolete space before colon
+       }) {
+    wasp::ByteChannel channel;
+    channel.host().WriteString(present);
+    auto stats = server.HandleConnection(channel, GetParam());
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->status, 200) << present;
+  }
+  {
+    // "HTTP/1.1" inside the path must not make an HTTP/1.0 request 1.1:
+    // the version check anchors to the end of the request line.
+    wasp::ByteChannel channel;
+    channel.host().WriteString("GET /HTTP/1.1 HTTP/1.0\r\n\r\n");
+    auto stats = server.HandleConnection(channel, GetParam());
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->status, 404);  // no such file — not a Host-less 400
+  }
+  {
+    // A Host token in the *body* must not satisfy the header requirement:
+    // the guest scan is bounded to the header block, like the host parser.
+    wasp::ByteChannel channel;
+    channel.host().WriteString("GET /f.txt HTTP/1.1\r\n\r\nHost: smuggled");
+    auto stats = server.HandleConnection(channel, GetParam());
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->status, 400);
+  }
+  // Trailing whitespace after the version tokenizes away on both sides:
+  // still HTTP/1.1, still Host-less, still 400 in every mode.
+  for (const char* trailing : {"GET /f.txt HTTP/1.1 \r\n\r\n", "GET /f.txt HTTP/1.1\t\r\n\r\n"}) {
+    wasp::ByteChannel channel;
+    channel.host().WriteString(trailing);
+    auto stats = server.HandleConnection(channel, GetParam());
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->status, 400) << trailing;
+  }
+}
+
+TEST_P(ServerModeTest, StructurallyMalformedHeadGets400InEveryMode) {
+  // Structural rules the guest validator shares with the host parser: an
+  // HTTP/ version token on the request line and a colon in every header
+  // line.  All modes must answer these with the same 400.
+  wasp::Runtime runtime;
+  wasp::HostEnv files;
+  files.PutFile("/f.txt", std::string(100, 'z'));
+  vnet::StaticHttpServer server(&runtime, &files);
+  for (const char* bad : {
+           "GET /f.txt XTTP/1.0\r\n\r\n",              // not an HTTP/ version
+           "GARBAGE\r\n\r\n",                          // no version token at all
+           "GET /f.txt HTTP/1.0\r\nNoColonHere\r\n\r\n",  // header without colon
+           "GET /a b HTTP/1.1\r\nHost: x\r\n\r\n",  // 4 tokens: version is 'b'
+       }) {
+    wasp::ByteChannel channel;
+    channel.host().WriteString(bad);
+    auto stats = server.HandleConnection(channel, GetParam());
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->status, 400) << bad;
+  }
+}
+
+TEST_P(ServerModeTest, PipelinedGarbageAfterRequestIsServedCleanly) {
+  wasp::Runtime runtime;
+  wasp::HostEnv files;
+  files.PutFile("/f.txt", std::string(100, 'z'));
+  vnet::StaticHttpServer server(&runtime, &files);
+  wasp::ByteChannel channel;
+  // A valid request followed by pipelined garbage: the one-request-per-
+  // connection server serves the valid head and ignores the tail — exactly
+  // one well-formed response, no crash, no hang.
+  channel.host().WriteString(std::string("GET /f.txt HTTP/1.0\r\n\r\n") + "\x01\x02\x7f" +
+                             "GARBAGE\r\nmore\r\n\r\n");
+  auto stats = server.HandleConnection(channel, GetParam());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->status, 200);
+  const auto resp = channel.host().Drain();
+  const std::string text(resp.begin(), resp.end());
+  EXPECT_EQ(text.rfind("HTTP/1.0 200", 0), 0u);
+  EXPECT_NE(text.find(std::string(100, 'z')), std::string::npos);
+}
+
 TEST(Server, VirtineHandlerUsesExactlySevenHypercalls) {
   wasp::Runtime runtime;
   wasp::HostEnv files;
@@ -201,6 +341,101 @@ TEST(BurstSim, DeterministicForSeed) {
   const auto b = vnet::SimulateBurstyLoad(pattern, model, 5);
   EXPECT_EQ(a.latency_us.mean, b.latency_us.mean);
   EXPECT_EQ(a.total_cold_starts, b.total_cold_starts);
+}
+
+TEST(Loadgen, ArrivalTraceIsDeterministicAndPhaseShaped) {
+  const std::vector<vnet::LoadPhase> phases = {{10, 1}, {50, 1}};
+  const auto a = vnet::GenerateArrivalTrace(phases, 5);
+  const auto b = vnet::GenerateArrivalTrace(phases, 5);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 60u);  // 10 + 50 arrivals
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  const auto c = vnet::GenerateArrivalTrace(phases, 6);
+  EXPECT_NE(a, c);  // jitter depends on the seed
+}
+
+TEST(Loadgen, VirtualClosedLoopScalesWithLanes) {
+  // 8 clients, constant 100 us service: 1 lane queues 8 deep, 8 lanes don't.
+  const std::vector<double> services(64, 100.0);
+  const auto one = vnet::ClosedLoopVirtualTime(8, 1, services);
+  const auto eight = vnet::ClosedLoopVirtualTime(8, 8, services);
+  EXPECT_EQ(one.latencies_us.size(), services.size());
+  EXPECT_EQ(eight.latencies_us.size(), services.size());
+  EXPECT_NEAR(eight.latency.mean, 100.0, 1.0);
+  // Steady state queues 8 deep (800 us); the first round ramps 100..800, so
+  // the mean sits just under the steady-state plateau.
+  EXPECT_NEAR(one.latency.p99, 800.0, 1.0);
+  EXPECT_GT(one.latency.mean, 700.0);
+  EXPECT_LE(one.latency.mean, 800.0);
+  EXPECT_GT(eight.harmonic_mean_rps, 7.0 * one.harmonic_mean_rps);
+  // Negative services count as failures and take no lane time.
+  const auto failed = vnet::ClosedLoopVirtualTime(2, 2, {100.0, -1.0, 100.0});
+  EXPECT_EQ(failed.failures, 1u);
+  EXPECT_EQ(failed.latencies_us.size(), 2u);
+}
+
+// --- Differential: executor replay vs the analytic simulator -----------------
+
+// On a small trace with one serving lane, ReplayBurstyLoad (real executor
+// invocations) and SimulateBurstyLoad (analytic model calibrated to the
+// replay's own measured service times) must agree exactly on the request
+// count and the cold-start count, and bucket for bucket on completions.
+//
+// Tolerance note: the two sides price requests in different currencies —
+// the replay uses each real invocation's measured modeled cycles (which
+// vary by a few percent across requests), the model a single constant warm
+// cost — so a request completing within ~a service time of a bucket
+// boundary can land one bucket apart.  With services (~2-5 ms) four orders
+// of magnitude below the 1 s buckets this affects at most edge requests;
+// per-bucket completions get a +/-2 band while the totals must be exact.
+TEST(BurstReplay, MatchesCalibratedSimulatorOnSmallTrace) {
+  wasp::Runtime runtime;
+  vnet::Vespid platform(&runtime);
+  ASSERT_TRUE(platform.Register("b64", vjs::Base64ScriptSource()).ok());
+  const std::vector<uint8_t> payload = {'d', 'i', 'f', 'f'};
+  const std::vector<vnet::LoadPhase> trace = {{8, 1}, {25, 1}};
+  constexpr uint64_t kSeed = 7;
+
+  vnet::ReplayOptions options;
+  options.concurrency = 1;  // one lane <=> one model instance
+  options.seed = kSeed;
+  auto replay = platform.ReplayBurstyLoad("b64", trace, payload, options);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  ASSERT_GT(replay->measured_warm_us, 0.0);
+
+  // Calibrate the model from the replay's own measurements; a single
+  // instance that never idles out spawns exactly once, like the replay's
+  // single cold first touch.
+  vnet::ExecutorModel model{"calibrated", replay->measured_warm_us,
+                            std::max(0.0, replay->measured_cold_us - replay->measured_warm_us),
+                            1, 600.0};
+  const vnet::SimResult sim = vnet::SimulateBurstyLoad(trace, model, kSeed);
+
+  EXPECT_EQ(replay->sim.total_requests, sim.total_requests);
+  EXPECT_EQ(replay->sim.total_requests, 33u);  // 8 + 25 arrivals, shared trace
+  EXPECT_EQ(replay->sim.total_cold_starts, sim.total_cold_starts);
+  EXPECT_EQ(replay->sim.total_cold_starts, 1u);
+
+  // Bucket completion totals: exact in aggregate, +/-2 per bucket.
+  std::map<int64_t, double> replay_completed;
+  std::map<int64_t, double> sim_completed;
+  double replay_total = 0;
+  double sim_total = 0;
+  for (const auto& point : replay->sim.timeline) {
+    replay_completed[static_cast<int64_t>(point.t_s)] = point.completed_rps;
+    replay_total += point.completed_rps;
+  }
+  for (const auto& point : sim.timeline) {
+    sim_completed[static_cast<int64_t>(point.t_s)] = point.completed_rps;
+    sim_total += point.completed_rps;
+  }
+  EXPECT_EQ(replay_total, sim_total);
+  EXPECT_EQ(replay_total, static_cast<double>(sim.total_requests));
+  for (const auto& [bucket, completed] : sim_completed) {
+    const auto it = replay_completed.find(bucket);
+    const double replayed = it != replay_completed.end() ? it->second : 0;
+    EXPECT_NEAR(replayed, completed, 2.0) << "bucket " << bucket;
+  }
 }
 
 // --- Echo guest (Figure 4 workload) -----------------------------------------------

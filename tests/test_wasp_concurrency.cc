@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <thread>
 #include <vector>
 
@@ -315,6 +317,171 @@ TEST(Concurrency, ExecutorBatchRunsAllSpecs) {
   EXPECT_EQ(lane_sum, total);
   EXPECT_GE(stats.MakespanCycles(), total / kThreads);
   EXPECT_LT(stats.MakespanCycles(), total);
+}
+
+// --- Bounded admission (ExecutorOptions) --------------------------------------
+
+// A task that parks its worker until the gate opens, so tests can fill the
+// queue behind it deterministically.
+wasp::Executor::Task GateTask(std::shared_future<void> gate) {
+  return [gate] {
+    gate.wait();
+    return wasp::RunOutcome{};
+  };
+}
+
+// Waits until the (single) worker has dequeued the gate task, i.e. the
+// queue is observably empty while the worker is parked.
+void AwaitWorkerParked(wasp::Executor& executor) {
+  for (int i = 0; i < 5000 && executor.queue_depth() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(executor.queue_depth(), 0u);
+}
+
+TEST(Concurrency, ExecutorQueueFillsToDepthThenTrySubmitRejects) {
+  auto image = vrt::BuildImage(vrt::Env::kLong64, vrt::Add2Source());
+  ASSERT_TRUE(image.ok());
+  wasp::Runtime runtime;
+  wasp::Executor executor(&runtime, wasp::ExecutorOptions{1, 2, /*block_when_full=*/false});
+  std::promise<void> gate;
+  auto gated = executor.SubmitTask(GateTask(gate.get_future().share()));
+  AwaitWorkerParked(executor);
+
+  // Two quick jobs fill the queue to max_queue_depth.
+  std::future<wasp::RunOutcome> queued[2];
+  for (auto& future : queued) {
+    ASSERT_TRUE(executor.TrySubmitTask([] { return wasp::RunOutcome{}; }, &future));
+  }
+  EXPECT_EQ(executor.queue_depth(), 2u);
+
+  // Both the task and the VirtineSpec entry points must now reject.
+  std::future<wasp::RunOutcome> rejected;
+  EXPECT_FALSE(executor.TrySubmitTask([] { return wasp::RunOutcome{}; }, &rejected));
+  wasp::VirtineSpec spec;
+  spec.image = &image.value();
+  EXPECT_FALSE(executor.TrySubmit(spec, &rejected));
+  const wasp::ExecutorStats mid = executor.stats();
+  EXPECT_EQ(mid.rejected, 2u);
+  EXPECT_EQ(mid.submitted, 3u);  // gate + two queued; rejects never enqueue
+  EXPECT_EQ(mid.peak_queue_depth, 2u);
+
+  gate.set_value();
+  gated.get();
+  for (auto& future : queued) {
+    future.get();
+  }
+  // Space freed: the same TrySubmit now succeeds and runs a real invocation.
+  std::future<wasp::RunOutcome> accepted;
+  wasp::ArgPacker packer(8);
+  packer.AddWord(20);
+  packer.AddWord(22);
+  spec.args_page = packer.Finish();
+  ASSERT_TRUE(executor.TrySubmit(spec, &accepted));
+  wasp::RunOutcome outcome = accepted.get();
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  EXPECT_EQ(outcome.result_word, 42u);
+}
+
+TEST(Concurrency, ExecutorBlockingModeNeverRejects) {
+  wasp::Runtime runtime;
+  wasp::Executor executor(&runtime, wasp::ExecutorOptions{1, 1, /*block_when_full=*/true});
+  std::promise<void> gate;
+  auto gated = executor.SubmitTask(GateTask(gate.get_future().share()));
+  AwaitWorkerParked(executor);
+
+  // Fill the queue, then hammer TrySubmitTask from several threads: every
+  // submission must block for space and eventually be accepted.
+  std::future<wasp::RunOutcome> queued;
+  ASSERT_TRUE(executor.TrySubmitTask([] { return wasp::RunOutcome{}; }, &queued));
+  constexpr int kSubmitters = 4;
+  std::atomic<int> accepted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    threads.emplace_back([&executor, &accepted] {
+      std::future<wasp::RunOutcome> future;
+      if (executor.TrySubmitTask([] { return wasp::RunOutcome{}; }, &future)) {
+        accepted.fetch_add(1);
+        future.get();
+      }
+    });
+  }
+  // The submitters are blocked on a full queue until the gate opens.
+  gate.set_value();
+  gated.get();
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(accepted.load(), kSubmitters);
+  const wasp::ExecutorStats stats = executor.stats();
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.submitted, static_cast<uint64_t>(kSubmitters) + 2);
+}
+
+TEST(Concurrency, ExecutorDestructionDrainsAllAcceptedFutures) {
+  auto image = vrt::BuildImage(vrt::Env::kLong64, vrt::Add2Source());
+  ASSERT_TRUE(image.ok());
+  wasp::Runtime runtime;
+  constexpr int kJobs = 12;
+  std::vector<std::future<wasp::RunOutcome>> futures;
+  std::vector<wasp::VirtineSpec> specs(kJobs);
+  {
+    wasp::Executor executor(&runtime, wasp::ExecutorOptions{2, 0, true});
+    for (int i = 0; i < kJobs; ++i) {
+      wasp::VirtineSpec& spec = specs[static_cast<size_t>(i)];
+      spec.image = &image.value();
+      wasp::ArgPacker packer(8);
+      packer.AddWord(static_cast<uint64_t>(i));
+      packer.AddWord(1000);
+      spec.args_page = packer.Finish();
+      futures.push_back(executor.Submit(spec));
+    }
+    // Executor destroyed with most jobs still queued.
+  }
+  for (int i = 0; i < kJobs; ++i) {
+    auto& future = futures[static_cast<size_t>(i)];
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)), std::future_status::ready)
+        << "job " << i << " not drained";
+    wasp::RunOutcome outcome = future.get();
+    ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+    EXPECT_EQ(outcome.result_word, static_cast<uint64_t>(i) + 1000);
+  }
+}
+
+TEST(Concurrency, ExecutorRejectionCountersMatchObservedRejections) {
+  wasp::Runtime runtime;
+  wasp::Executor executor(&runtime, wasp::ExecutorOptions{1, 1, /*block_when_full=*/false});
+  std::promise<void> gate;
+  auto gated = executor.SubmitTask(GateTask(gate.get_future().share()));
+  AwaitWorkerParked(executor);
+
+  uint64_t observed_accepts = 0;
+  uint64_t observed_rejects = 0;
+  std::vector<std::future<wasp::RunOutcome>> futures;
+  for (int i = 0; i < 20; ++i) {
+    std::future<wasp::RunOutcome> future;
+    if (executor.TrySubmitTask([] { return wasp::RunOutcome{}; }, &future)) {
+      ++observed_accepts;
+      futures.push_back(std::move(future));
+    } else {
+      ++observed_rejects;
+    }
+  }
+  EXPECT_EQ(observed_accepts, 1u);  // the queue holds exactly one behind the gate
+  gate.set_value();
+  gated.get();
+  for (auto& future : futures) {
+    future.get();
+  }
+  const wasp::ExecutorStats stats = executor.stats();
+  EXPECT_EQ(stats.rejected, observed_rejects);
+  EXPECT_EQ(stats.submitted, observed_accepts + 1);  // + the gate task
+  // completed trails set_value by one increment; poll briefly.
+  for (int i = 0; i < 5000 && executor.stats().completed < observed_accepts + 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(executor.stats().completed, observed_accepts + 1);
 }
 
 TEST(Concurrency, InvokeAsyncResolvesFutures) {
