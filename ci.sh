@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure + build + ctest in one command.
 #
-#   ./ci.sh             # normal mode (warnings allowed) + fig9/fig12/fig13 smokes
+#   ./ci.sh             # normal mode (warnings allowed) + fig9/fig12/fig13/fig16 smokes
 #   STRICT=1 ./ci.sh    # -Werror: any warning fails the build
 #   TSAN=1 ./ci.sh      # ThreadSanitizer build; runs the threaded wasp/net tests
 #   BUILD_DIR=out ./ci.sh
@@ -13,18 +13,30 @@ if [[ "${STRICT:-0}" == "1" ]]; then
   WERROR=ON
 fi
 
+# Counts the gtest cases a binary would run (indented lines of --gtest_list_tests
+# are cases; unindented ones are suites), so the per-lane summary makes a shrunk
+# lane visible in the log.
+count_gtests() {
+  "$1" --gtest_list_tests 2>/dev/null | grep -c '^  ' || true
+}
+
 if [[ "${TSAN:-0}" == "1" ]]; then
   # ThreadSanitizer gate for the concurrent invocation engine (sharded pool,
-  # cleaner crew, executor).  Separate build dir: TSan objects don't mix.
+  # cleaner crew, executor, governance layer).  Separate build dir: TSan
+  # objects don't mix.
   BUILD_DIR="${BUILD_DIR:-build-tsan}"
+  TSAN_TESTS=(test_wasp test_wasp_concurrency test_snapshot_engine test_governance
+              test_net test_http_server_concurrency)
   cmake -B "$BUILD_DIR" -S . -DVIRTINES_WERROR="$WERROR" \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-  cmake --build "$BUILD_DIR" -j"$(nproc)" \
-    --target test_wasp test_wasp_concurrency test_snapshot_engine test_net \
-    test_http_server_concurrency
-  (cd "$BUILD_DIR" && ./test_wasp && ./test_wasp_concurrency && \
-   ./test_snapshot_engine && ./test_net && ./test_http_server_concurrency)
+  cmake --build "$BUILD_DIR" -j"$(nproc)" --target "${TSAN_TESTS[@]}"
+  total=0
+  for t in "${TSAN_TESTS[@]}"; do
+    (cd "$BUILD_DIR" && "./$t")
+    total=$((total + $(count_gtests "$BUILD_DIR/$t")))
+  done
+  echo "[ci] tsan lane: ${#TSAN_TESTS[@]} binaries, ${total} gtest cases"
   exit 0
 fi
 
@@ -43,3 +55,17 @@ cmake --build "$BUILD_DIR" -j"$(nproc)"
 # server in all three modes; fails (non-zero) on any wrong response or
 # admission-counter mismatch.
 (cd "$BUILD_DIR" && ./fig13_http_server --quick)
+# Governance smoke: the fig16 gates on a shortened trace — per-key quota
+# bounds the interactive key's p99 queue wait within 2x of isolation at
+# <10% aggregate RPS cost, and affine eviction holds the resident budget
+# through a retire/re-capture loop.
+(cd "$BUILD_DIR" && ./fig16_multitenant --quick)
+# Per-lane coverage summary: the ctest suite count plus per-binary gtest
+# case totals, so a lane silently losing tests shows up in the log.
+suites=$(cd "$BUILD_DIR" && ctest -N | tail -n1 | tr -dc '0-9')
+cases=0
+for t in "$BUILD_DIR"/test_*; do
+  [[ -x "$t" ]] || continue
+  cases=$((cases + $(count_gtests "$t")))
+done
+echo "[ci] default lane: ${suites} ctest suites, ${cases} gtest cases, 4 bench smokes"

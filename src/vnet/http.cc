@@ -107,6 +107,7 @@ const char* ReasonPhrase(int status) {
     case 200: return "OK";
     case 400: return "Bad Request";
     case 404: return "Not Found";
+    case 429: return "Too Many Requests";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
     default: return "Unknown";

@@ -353,16 +353,41 @@ ConcurrentHttpServer::ConcurrentHttpServer(wasp::Runtime* runtime, wasp::HostEnv
                                            ConcurrentServerOptions options)
     : options_(options),
       inner_(runtime, env),
-      executor_(runtime, wasp::ExecutorOptions{options.lanes, options.max_queue_depth,
-                                               options.block_when_full}) {}
+      executor_(runtime,
+                wasp::ExecutorOptions{options.lanes, options.max_queue_depth,
+                                      options.block_when_full, options.key_quota,
+                                      options.batch_weight}) {}
 
 std::future<vbase::Result<ServeStats>> ConcurrentHttpServer::SubmitConnection(
     wasp::ByteChannel& channel, ServeMode mode) {
+  // Unrouted path: latency class, and the only key is the snapshot-affinity
+  // hint — which means every snapshot-mode connection shares one key, so a
+  // configured key_quota caps them as a single pool (and sheds 429).  Front
+  // ends that want per-tenant quotas use the routed overload below.
+  std::string key =
+      mode == ServeMode::kVirtineSnapshot ? std::string(kStaticHandlerKey) : std::string();
+  return Dispatch(channel, mode, std::move(key), wasp::KeyClass::kLatency);
+}
+
+std::future<vbase::Result<ServeStats>> ConcurrentHttpServer::SubmitConnection(
+    wasp::ByteChannel& channel, ServeMode mode, const std::string& route) {
+  auto it = options_.route_classes.find(route);
+  const wasp::KeyClass klass =
+      it != options_.route_classes.end() ? it->second : wasp::KeyClass::kLatency;
+  // The route is the governance key: quota accounting and the affinity scan
+  // both group by it.  Note the trade: every snapshot-mode connection still
+  // restores the one static-handler snapshot, so distinct route keys give
+  // up some cross-route affinity-scan locality in exchange for per-route
+  // quota isolation.
+  return Dispatch(channel, mode, "route:" + route, klass);
+}
+
+std::future<vbase::Result<ServeStats>> ConcurrentHttpServer::Dispatch(
+    wasp::ByteChannel& channel, ServeMode mode, std::string key, wasp::KeyClass klass) {
   AtomicCounters& ctr = counters_[static_cast<size_t>(mode)];
   auto done = std::make_shared<std::promise<vbase::Result<ServeStats>>>();
   std::future<vbase::Result<ServeStats>> resolved = done->get_future();
-  std::string key =
-      mode == ServeMode::kVirtineSnapshot ? std::string(kStaticHandlerKey) : std::string();
+  wasp::Admission admission = wasp::Admission::kAccepted;
   const bool accepted = executor_.TrySubmitTask(
       [this, &channel, mode, done, &ctr]() -> wasp::RunOutcome {
         vbase::Result<ServeStats> stats = inner_.HandleConnection(channel, mode);
@@ -384,14 +409,21 @@ std::future<vbase::Result<ServeStats>> ConcurrentHttpServer::SubmitConnection(
         done->set_value(std::move(stats));
         return wasp::RunOutcome{};
       },
-      /*future=*/nullptr, std::move(key));
+      /*future=*/nullptr, std::move(key), klass, &admission);
   if (!accepted) {
     // Load shedding: answer on the submitter's thread so the client sees a
-    // well-formed 503 instead of a silently dropped connection.
-    ctr.rejected.fetch_add(1, std::memory_order_relaxed);
-    channel.guest().WriteString(BuildResponse(503, ""));
+    // well-formed response instead of a silently dropped connection.  The
+    // status tells it what to do next: 429 = this route is over its quota
+    // (back off, the server is fine); 503 = the whole server is overloaded.
+    const int status = admission == wasp::Admission::kQuotaExceeded ? 429 : 503;
+    if (status == 429) {
+      ctr.quota_rejected.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ctr.rejected.fetch_add(1, std::memory_order_relaxed);
+    }
+    channel.guest().WriteString(BuildResponse(status, ""));
     ServeStats shed;
-    shed.status = 503;
+    shed.status = status;
     done->set_value(shed);
     return resolved;
   }
@@ -404,6 +436,7 @@ ServerCounters ConcurrentHttpServer::counters(ServeMode mode) const {
   ServerCounters out;
   out.accepted = ctr.accepted.load(std::memory_order_relaxed);
   out.rejected = ctr.rejected.load(std::memory_order_relaxed);
+  out.quota_rejected = ctr.quota_rejected.load(std::memory_order_relaxed);
   out.completed = ctr.completed.load(std::memory_order_relaxed);
   out.errors = ctr.errors.load(std::memory_order_relaxed);
   out.status_2xx = ctr.status_2xx.load(std::memory_order_relaxed);

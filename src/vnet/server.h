@@ -15,12 +15,21 @@
 //   overflow connections with an immediate 503) makes burst overload a
 //   first-class behavior.  This is the serving path Figure 13's lane sweep
 //   measures.
+//
+// Key-scoped governance (the routed SubmitConnection overload): the front
+// end maps each route onto a key class (latency-sensitive vs batch) and a
+// per-route admission key, so one hot route can neither monopolize the
+// executor queue (per-key quota -> HTTP 429, "this tenant backs off") nor
+// starve interactive routes behind its backlog (weighted class dequeue).
+// Global overload still sheds with 503 ("the server is full"), keeping the
+// two failure modes distinguishable at the protocol level.
 #ifndef SRC_VNET_SERVER_H_
 #define SRC_VNET_SERVER_H_
 
 #include <atomic>
 #include <cstdint>
 #include <future>
+#include <map>
 #include <string>
 
 #include "src/base/status.h"
@@ -85,12 +94,24 @@ struct ConcurrentServerOptions {
   // Full-queue policy: block the submitter until a lane frees (closed-loop
   // clients) or answer the connection with an immediate 503 (load shedding).
   bool block_when_full = true;
+  // Per-key admission quota (jobs queued + in flight under one key); 0 =
+  // unlimited.  Exceeding it answers the connection with 429 instead of
+  // 503.  Routed submissions are keyed per route; unrouted snapshot-mode
+  // submissions all share the handler's affinity key and therefore one
+  // quota pool — leave this 0 if that path should only ever shed 503.
+  size_t key_quota = 0;
+  // Route -> scheduling class for routed submissions; unlisted routes are
+  // latency-sensitive.  Weighted dequeue (ExecutorOptions::batch_weight)
+  // keeps batch routes from starving interactive ones and vice versa.
+  std::map<std::string, wasp::KeyClass> route_classes;
+  int batch_weight = 4;  // forwarded to ExecutorOptions::batch_weight
 };
 
 // Monotone per-mode aggregates over everything a server instance served.
 struct ServerCounters {
   uint64_t accepted = 0;       // connections admitted to the executor queue
   uint64_t rejected = 0;       // connections shed with a 503 at admission
+  uint64_t quota_rejected = 0; // connections shed with a 429 (route quota)
   uint64_t completed = 0;      // handler ran to completion (any status)
   uint64_t errors = 0;         // handler returned a non-OK status
   uint64_t status_2xx = 0;
@@ -118,6 +139,15 @@ class ConcurrentHttpServer {
   std::future<vbase::Result<ServeStats>> SubmitConnection(wasp::ByteChannel& channel,
                                                           ServeMode mode);
 
+  // Routed variant: `route` names the request's target as the front end
+  // knows it (the dispatch key — e.g. from the listener's vhost/path map).
+  // It selects the connection's key class (options().route_classes) and its
+  // admission key, so per-route quotas and class weighting apply.  A
+  // quota-shed connection is answered 429; global overload stays 503.
+  std::future<vbase::Result<ServeStats>> SubmitConnection(wasp::ByteChannel& channel,
+                                                          ServeMode mode,
+                                                          const std::string& route);
+
   ServerCounters counters(ServeMode mode) const;
   wasp::ExecutorStats executor_stats() const { return executor_.stats(); }
   size_t queue_depth() const { return executor_.queue_depth(); }
@@ -125,9 +155,15 @@ class ConcurrentHttpServer {
   int lanes() const { return static_cast<int>(executor_.workers()); }
 
  private:
+  // Shared dispatch path: `key` is the executor affinity/quota key, `klass`
+  // the scheduling class.
+  std::future<vbase::Result<ServeStats>> Dispatch(wasp::ByteChannel& channel, ServeMode mode,
+                                                  std::string key, wasp::KeyClass klass);
+
   struct AtomicCounters {
     std::atomic<uint64_t> accepted{0};
     std::atomic<uint64_t> rejected{0};
+    std::atomic<uint64_t> quota_rejected{0};
     std::atomic<uint64_t> completed{0};
     std::atomic<uint64_t> errors{0};
     std::atomic<uint64_t> status_2xx{0};

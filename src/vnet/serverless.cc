@@ -1,8 +1,13 @@
 #include "src/vnet/serverless.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <deque>
+#include <limits>
 #include <map>
+#include <queue>
+#include <thread>
 
 #include "src/base/clock.h"
 #include "src/base/rng.h"
@@ -185,7 +190,14 @@ vbase::Result<Vespid::ReplayResult> Vespid::ReplayBurstyLoad(
     wasp::Executor executor(runtime_, wasp::ExecutorOptions{lanes, 0, true});
     std::vector<std::future<wasp::RunOutcome>> futures;
     futures.reserve(arrivals.size());
+    const auto pace_origin = std::chrono::steady_clock::now();
     for (size_t i = 0; i < arrivals.size(); ++i) {
+      if (options.pace_wall_clock) {
+        // Soak mode: dispatch each arrival at its trace offset on the real
+        // clock instead of submitting the whole trace up front.
+        std::this_thread::sleep_until(
+            pace_origin + std::chrono::microseconds(static_cast<int64_t>(arrivals[i])));
+      }
       futures.push_back(executor.Submit(MakeVespidSpec(fn->name, &fn->image, &payload)));
     }
     service_us.reserve(futures.size());
@@ -230,6 +242,225 @@ vbase::Result<Vespid::ReplayResult> Vespid::ReplayBurstyLoad(
     events.push_back(
         ServedEvent{arrivals[i], schedule.Place(arrivals[i], service_us[i]), cold[i]});
   }
+  replay.sim = AssembleSimResult(events);
+  return replay;
+}
+
+vbase::Result<MeasuredTrace> Vespid::MeasureMultiTenant(const std::vector<TenantSpec>& tenants,
+                                                        int concurrency, uint64_t seed) {
+  if (tenants.empty()) {
+    return vbase::InvalidArgument("MeasureMultiTenant needs at least one tenant");
+  }
+  MeasuredTrace trace;
+  std::vector<const Fn*> fns;
+  fns.reserve(tenants.size());
+  for (const TenantSpec& tenant : tenants) {
+    const Fn* fn = FindFunction(tenant.name);
+    if (fn == nullptr) {
+      return vbase::NotFound("no such function: " + tenant.name);
+    }
+    fns.push_back(fn);
+    trace.names.push_back(tenant.name);
+    trace.classes.push_back(tenant.klass);
+  }
+
+  // Merge the tenants' arrival traces (per-tenant seed: each tenant's
+  // jitter is independent, and the merged order is deterministic — ties
+  // break on tenant index via the pair comparison).
+  std::vector<std::pair<double, int>> merged;
+  for (size_t i = 0; i < tenants.size(); ++i) {
+    for (double at : GenerateArrivalTrace(tenants[i].phases, seed + i)) {
+      merged.emplace_back(at, static_cast<int>(i));
+    }
+  }
+  std::sort(merged.begin(), merged.end());
+  trace.arrivals_us.reserve(merged.size());
+  trace.tenant.reserve(merged.size());
+  for (const auto& [at, idx] : merged) {
+    trace.arrivals_us.push_back(at);
+    trace.tenant.push_back(idx);
+  }
+
+  // One real invocation per merged arrival, in arrival order: the mixed
+  // snapshot keys contend for pool shells and affine generations exactly as
+  // the production mix would, so each request's measured modeled service
+  // carries real cross-tenant restore effects (affine hit vs full copy).
+  vbase::WallTimer timer;
+  {
+    wasp::Executor executor(runtime_,
+                            wasp::ExecutorOptions{std::max(concurrency, 1), 0, true});
+    std::vector<std::future<wasp::RunOutcome>> futures;
+    futures.reserve(merged.size());
+    for (const auto& [at, idx] : merged) {
+      const size_t t = static_cast<size_t>(idx);
+      futures.push_back(executor.Submit(
+          MakeVespidSpec(fns[t]->name, &fns[t]->image, &tenants[t].payload),
+          tenants[t].klass));
+    }
+    trace.service_us.reserve(futures.size());
+    trace.cold.reserve(futures.size());
+    for (std::future<wasp::RunOutcome>& f : futures) {
+      wasp::RunOutcome outcome = f.get();
+      if (!outcome.status.ok()) {
+        return outcome.status;
+      }
+      trace.service_us.push_back(vbase::CyclesToMicros(outcome.stats.total_cycles));
+      trace.cold.push_back(!outcome.stats.restored_snapshot);
+    }
+  }
+  trace.wall_ns = timer.ElapsedNanos();
+  return trace;
+}
+
+GovernedReplay GovernTrace(const MeasuredTrace& trace, const GovernanceOptions& options) {
+  const int lanes = std::max(options.lanes, 1);
+  // Same floor as the executor: weight 1 would pick batch on every
+  // contended dequeue (priority inversion), so positive weights start at
+  // alternation.
+  const int batch_weight =
+      options.batch_weight > 0 ? std::max(options.batch_weight, 2) : options.batch_weight;
+  const size_t n = trace.arrivals_us.size();
+  GovernedReplay replay;
+  replay.tenants.resize(trace.names.size());
+  for (size_t t = 0; t < trace.names.size(); ++t) {
+    replay.tenants[t].name = trace.names[t];
+  }
+
+  // Virtual-time replica of the executor's admission and dequeue policy:
+  // at each arrival, quota then global bound decide admission; lanes drain
+  // the two class queues with the same weighted (or FIFO) pick rule the
+  // workers use.  Everything is integer/double arithmetic over the measured
+  // services, so a given trace always governs identically.
+  std::vector<double> lane_free(static_cast<size_t>(lanes), 0.0);
+  std::deque<size_t> queues[2];  // by KeyClass, request indices in arrival order
+  std::vector<size_t> tenant_load(trace.names.size(), 0);  // queued + running
+  using Completion = std::pair<double, size_t>;  // (done_us, tenant)
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<Completion>>
+      completions;
+  int batch_credit = 0;
+
+  std::vector<double> start_us(n, -1.0);  // -1 = shed
+  std::vector<double> done_us(n, -1.0);
+
+  auto advance_completions = [&](double now) {
+    while (!completions.empty() && completions.top().first <= now) {
+      --tenant_load[completions.top().second];
+      completions.pop();
+    }
+  };
+  auto pick_class = [&]() -> size_t {
+    const bool have_latency = !queues[0].empty();
+    const bool have_batch = !queues[1].empty();
+    if (have_latency && have_batch) {
+      if (batch_weight <= 0) {
+        return queues[0].front() < queues[1].front() ? 0 : 1;  // FIFO by arrival
+      }
+      if (batch_credit >= batch_weight - 1) {
+        batch_credit = 0;
+        return 1;
+      }
+      ++batch_credit;
+      return 0;
+    }
+    return have_latency ? 0 : 1;
+  };
+  // Dispatches queued requests onto lanes that free up strictly before
+  // `horizon` (infinity for the final drain).
+  auto dispatch_until = [&](double horizon) {
+    while (!queues[0].empty() || !queues[1].empty()) {
+      const size_t lane = static_cast<size_t>(
+          std::min_element(lane_free.begin(), lane_free.end()) - lane_free.begin());
+      if (lane_free[lane] >= horizon) {
+        break;
+      }
+      const size_t cls = pick_class();
+      const size_t idx = queues[cls].front();
+      queues[cls].pop_front();
+      const double start = std::max(lane_free[lane], trace.arrivals_us[idx]);
+      start_us[idx] = start;
+      done_us[idx] = start + trace.service_us[idx];
+      lane_free[lane] = done_us[idx];
+      completions.emplace(done_us[idx], static_cast<size_t>(trace.tenant[idx]));
+    }
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    const double now = trace.arrivals_us[i];
+    const size_t t = static_cast<size_t>(trace.tenant[i]);
+    dispatch_until(now);
+    advance_completions(now);
+    TenantOutcome& tenant = replay.tenants[t];
+    ++tenant.offered;
+    // Quota first (mirrors Executor::Enqueue): the per-key signal beats the
+    // global one so a hot key is told to back off, not that the server is
+    // full.
+    if (options.key_quota > 0 && tenant_load[t] >= options.key_quota) {
+      ++tenant.shed_quota;
+      continue;
+    }
+    if (options.max_queue_depth > 0 &&
+        queues[0].size() + queues[1].size() >= options.max_queue_depth) {
+      ++tenant.shed_overload;
+      continue;
+    }
+    queues[static_cast<size_t>(trace.classes[t])].push_back(i);
+    ++tenant_load[t];
+  }
+  dispatch_until(std::numeric_limits<double>::infinity());
+
+  // Per-tenant aggregation + the merged Figure-15-currency timeline.
+  std::vector<ServedEvent> events;
+  events.reserve(n);
+  std::vector<std::vector<double>> waits(trace.names.size());
+  double last_done = 0;
+  uint64_t total_completed = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (start_us[i] < 0) {
+      continue;  // shed
+    }
+    const size_t t = static_cast<size_t>(trace.tenant[i]);
+    TenantOutcome& tenant = replay.tenants[t];
+    ++tenant.completed;
+    ++total_completed;
+    if (trace.cold[i]) {
+      ++tenant.cold_starts;
+    }
+    const double wait = start_us[i] - trace.arrivals_us[i];
+    waits[t].push_back(wait);
+    tenant.mean_queue_wait_us += wait;
+    tenant.mean_latency_us += done_us[i] - trace.arrivals_us[i];
+    last_done = std::max(last_done, done_us[i]);
+    events.push_back(ServedEvent{trace.arrivals_us[i], done_us[i], trace.cold[i]});
+  }
+  double fairness_num = 0;
+  double fairness_den = 0;
+  double active_tenants = 0;  // tenants with offered load; idle ones don't dilute
+  for (size_t t = 0; t < replay.tenants.size(); ++t) {
+    TenantOutcome& tenant = replay.tenants[t];
+    if (tenant.completed > 0) {
+      tenant.mean_queue_wait_us /= static_cast<double>(tenant.completed);
+      tenant.mean_latency_us /= static_cast<double>(tenant.completed);
+      tenant.p99_queue_wait_us = vbase::Quantile(waits[t], 0.99);
+    }
+    if (tenant.offered > 0) {
+      tenant.shed_rate = static_cast<double>(tenant.shed_quota + tenant.shed_overload) /
+                         static_cast<double>(tenant.offered);
+      const double admitted_fraction =
+          static_cast<double>(tenant.completed) / static_cast<double>(tenant.offered);
+      fairness_num += admitted_fraction;
+      fairness_den += admitted_fraction * admitted_fraction;
+      active_tenants += 1;
+    }
+  }
+  replay.fairness_index =
+      fairness_den > 0 ? (fairness_num * fairness_num) / (active_tenants * fairness_den)
+                       : 0;
+  // First arrival to last completion, as documented — a trace slice that
+  // starts late must not count its idle prefix against throughput.
+  const double origin_us = n > 0 ? trace.arrivals_us.front() : 0;
+  replay.makespan_s = total_completed > 0 ? (last_done - origin_us) / 1e6 : 0;
+  replay.aggregate_rps =
+      replay.makespan_s > 0 ? static_cast<double>(total_completed) / replay.makespan_s : 0;
   replay.sim = AssembleSimResult(events);
   return replay;
 }

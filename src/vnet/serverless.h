@@ -28,6 +28,7 @@
 #include "src/base/status.h"
 #include "src/isa/image.h"
 #include "src/vnet/loadgen.h"
+#include "src/wasp/executor.h"
 #include "src/wasp/runtime.h"
 
 namespace vnet {
@@ -65,11 +66,84 @@ struct ExecutorModel {
 SimResult SimulateBurstyLoad(const std::vector<LoadPhase>& phases, const ExecutorModel& model,
                              uint64_t seed = 42);
 
+// --- Multi-tenant governance (key-scoped quotas over mixed traces) ----------
+
+// One tenant of a multi-function trace: a registered function, its own
+// arrival pattern, a scheduling class, and the payload its invocations get.
+struct TenantSpec {
+  std::string name;
+  std::vector<LoadPhase> phases;
+  wasp::KeyClass klass = wasp::KeyClass::kLatency;
+  std::vector<uint8_t> payload;
+};
+
+// A merged multi-tenant arrival trace with the *measured* modeled service
+// cost of one real executor invocation per arrival (mixed snapshot keys
+// contending for pool shells and affine generations).  Produced once by
+// Vespid::MeasureMultiTenant; governance disciplines are then evaluated
+// deterministically over it by GovernTrace, so governed and ungoverned
+// runs compare on identical measured services.
+struct MeasuredTrace {
+  std::vector<std::string> names;          // per tenant
+  std::vector<wasp::KeyClass> classes;     // per tenant
+  std::vector<double> arrivals_us;         // merged, ascending
+  std::vector<int> tenant;                 // arrival -> tenant index
+  std::vector<double> service_us;          // measured modeled service cost
+  std::vector<bool> cold;                  // arrival booted instead of restored
+  uint64_t wall_ns = 0;                    // real elapsed time of the measuring run
+};
+
+// The admission/dequeue discipline GovernTrace applies — the executor's
+// policy knobs, evaluated in virtual time so results are deterministic.
+struct GovernanceOptions {
+  int lanes = 2;               // virtual serving lanes
+  size_t max_queue_depth = 0;  // global queued bound; 0 = unbounded
+  size_t key_quota = 0;        // per-tenant queued+running cap; 0 = unlimited
+  // Weighted class dequeue (one batch per `batch_weight` dequeues under
+  // contention); <= 0 = no classes, strict FIFO (the ungoverned baseline).
+  int batch_weight = 4;
+};
+
+// Per-tenant outcome of a governed replay.
+struct TenantOutcome {
+  std::string name;
+  uint64_t offered = 0;        // arrivals in the trace
+  uint64_t completed = 0;      // admitted and served
+  uint64_t shed_quota = 0;     // rejected by the per-key quota
+  uint64_t shed_overload = 0;  // rejected by the global queue bound
+  double shed_rate = 0;        // (shed_quota + shed_overload) / offered
+  double mean_queue_wait_us = 0;
+  double p99_queue_wait_us = 0;  // the governance claim's currency
+  double mean_latency_us = 0;    // queue wait + service
+  uint64_t cold_starts = 0;
+};
+
+struct GovernedReplay {
+  std::vector<TenantOutcome> tenants;  // in MeasuredTrace tenant order
+  SimResult sim;                       // merged timeline over served requests
+  // Jain's fairness index over per-tenant admitted fractions: 1.0 = every
+  // tenant got the same share of its offered load through admission.
+  double fairness_index = 0;
+  double aggregate_rps = 0;  // completed requests / virtual makespan
+  double makespan_s = 0;     // first arrival to last completion
+};
+
+// Applies `options` to the measured trace in virtual time: per-key quota
+// and global bound at each arrival, weighted (or FIFO) dequeue onto
+// `lanes` serving lanes, measured service per admitted request.
+// Deterministic for a given trace.
+GovernedReplay GovernTrace(const MeasuredTrace& trace, const GovernanceOptions& options);
+
 // --- Vespid: virtine-backed function platform -------------------------------
 
 struct ReplayOptions {
   int concurrency = 8;  // executor lanes = the platform's serving width
   uint64_t seed = 42;   // must match the simulator's to share the trace
+  // Pace submissions on the real clock (sleep until each arrival's trace
+  // offset) instead of dispatching the whole trace up front.  Soak-style
+  // runs only: wall pacing makes the measured contention timing-dependent,
+  // so it stays off for the deterministic benches.
+  bool pace_wall_clock = false;
 };
 
 class Vespid {
@@ -128,6 +202,15 @@ class Vespid {
                                                const std::vector<LoadPhase>& phases,
                                                const std::vector<uint8_t>& payload,
                                                const ReplayOptions& options = {});
+
+  // Merges every tenant's arrival trace (per-tenant seed derived from
+  // `seed`) and drives one real executor invocation per arrival in merged
+  // order — mixed snapshot keys contending for shells and affine
+  // generations — recording each arrival's measured modeled service cost
+  // and cold/warm outcome.  The result feeds GovernTrace, which evaluates
+  // admission disciplines over it deterministically.
+  vbase::Result<MeasuredTrace> MeasureMultiTenant(const std::vector<TenantSpec>& tenants,
+                                                  int concurrency, uint64_t seed = 42);
 
  private:
   struct Fn {

@@ -17,6 +17,12 @@ Executor::Executor(Runtime* runtime, ExecutorOptions options)
   VB_CHECK(runtime_ != nullptr, "Executor requires a runtime");
   const int n = std::max(options_.workers, 1);
   options_.workers = n;
+  if (options_.batch_weight > 0) {
+    // Weight 1 would pick batch on *every* contended dequeue — priority
+    // inversion, the opposite of the knob's promise — so the floor is
+    // alternation.
+    options_.batch_weight = std::max(options_.batch_weight, 2);
+  }
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -41,67 +47,106 @@ Executor::Task Executor::MakeInvokeTask(VirtineSpec spec) {
   return [runtime = runtime_, spec = std::move(spec)] { return runtime->Invoke(spec); };
 }
 
-bool Executor::Enqueue(Job job, bool may_reject, std::future<RunOutcome>* future) {
+Admission Executor::Enqueue(Job job, bool may_reject, std::future<RunOutcome>* future) {
   std::future<RunOutcome> resolved = job.promise.get_future();
-  bool accepted = true;
+  Admission admission = Admission::kAccepted;
   {
     std::unique_lock<std::mutex> lock(mu_);
+    // Per-key quota: rejected before (and independent of) the global bound,
+    // and always immediately — a hot key must shed, not park submitters.
+    if (may_reject && !stop_ && options_.key_quota > 0 && !job.key.empty()) {
+      auto it = key_load_.find(job.key);
+      if (it != key_load_.end() && it->second >= options_.key_quota) {
+        ++stats_.quota_rejected;
+        return Admission::kQuotaExceeded;  // job (and its promise) dropped
+      }
+    }
     if (!stop_ && options_.max_queue_depth > 0) {
       if (may_reject && !options_.block_when_full &&
-          queue_.size() >= options_.max_queue_depth) {
+          TotalQueuedLocked() >= options_.max_queue_depth) {
         ++stats_.rejected;
-        return false;  // job (and its promise) dropped; caller sheds load
+        return Admission::kQueueFull;  // caller sheds load
       }
       cv_space_.wait(lock, [this] {
-        return stop_ || queue_.size() < options_.max_queue_depth;
+        return stop_ || TotalQueuedLocked() < options_.max_queue_depth;
       });
+      // Re-check the quota after a blocking park: sibling submitters of the
+      // same key passed the entry check while this one waited for global
+      // space, so enqueueing blindly here would overshoot the cap.  The
+      // quota is a hard invariant; a woken waiter that would break it is
+      // rejected at wake instead.
+      if (may_reject && !stop_ && options_.key_quota > 0 && !job.key.empty()) {
+        auto it = key_load_.find(job.key);
+        if (it != key_load_.end() && it->second >= options_.key_quota) {
+          ++stats_.quota_rejected;
+          // This reject consumed a dequeue's notify_one without taking the
+          // freed slot; pass the wakeup on or another parked submitter
+          // could sleep forever beside an open slot.
+          cv_space_.notify_one();
+          return Admission::kQuotaExceeded;
+        }
+      }
     }
     if (stop_) {
       // Teardown raced the submission (blocking admission makes long parks
       // inside Enqueue routine): fail it recoverably instead of aborting.
       ++stats_.rejected;
-      accepted = false;
+      admission = Admission::kStopped;
     } else {
-      queue_.push_back(std::move(job));
+      job.seq = next_seq_++;
+      if (!job.key.empty()) {
+        ++key_load_[job.key];
+      }
+      queues_[static_cast<size_t>(job.klass)].push_back(std::move(job));
       ++stats_.submitted;
-      stats_.peak_queue_depth = std::max<uint64_t>(stats_.peak_queue_depth, queue_.size());
+      stats_.peak_queue_depth =
+          std::max<uint64_t>(stats_.peak_queue_depth, TotalQueuedLocked());
     }
   }
-  if (!accepted) {
+  if (admission == Admission::kStopped) {
     RunOutcome outcome;
     outcome.status = vbase::Aborted("executor stopped during submit");
     job.promise.set_value(std::move(outcome));
     if (future != nullptr) {
       *future = std::move(resolved);  // already resolved with the error
     }
-    return false;
+    return admission;
   }
   cv_.notify_one();
   if (future != nullptr) {
     *future = std::move(resolved);
   }
-  return true;
+  return admission;
 }
 
-std::future<RunOutcome> Executor::Submit(VirtineSpec spec) {
+std::future<RunOutcome> Executor::Submit(VirtineSpec spec, KeyClass klass) {
   Job job;
   job.key = spec.use_snapshot ? spec.key : std::string();
+  job.klass = klass;
   job.work = MakeInvokeTask(std::move(spec));
   std::future<RunOutcome> future;
   Enqueue(std::move(job), /*may_reject=*/false, &future);
   return future;
 }
 
-bool Executor::TrySubmit(VirtineSpec spec, std::future<RunOutcome>* future) {
+bool Executor::TrySubmit(VirtineSpec spec, std::future<RunOutcome>* future, KeyClass klass,
+                         Admission* admission) {
   Job job;
   job.key = spec.use_snapshot ? spec.key : std::string();
+  job.klass = klass;
   job.work = MakeInvokeTask(std::move(spec));
-  return Enqueue(std::move(job), /*may_reject=*/true, future);
+  const Admission result = Enqueue(std::move(job), /*may_reject=*/true, future);
+  if (admission != nullptr) {
+    *admission = result;
+  }
+  return result == Admission::kAccepted;
 }
 
-std::future<RunOutcome> Executor::SubmitTask(Task task, std::string affinity_key) {
+std::future<RunOutcome> Executor::SubmitTask(Task task, std::string affinity_key,
+                                             KeyClass klass) {
   Job job;
   job.key = std::move(affinity_key);
+  job.klass = klass;
   job.work = std::move(task);
   std::future<RunOutcome> future;
   Enqueue(std::move(job), /*may_reject=*/false, &future);
@@ -109,21 +154,56 @@ std::future<RunOutcome> Executor::SubmitTask(Task task, std::string affinity_key
 }
 
 bool Executor::TrySubmitTask(Task task, std::future<RunOutcome>* future,
-                             std::string affinity_key) {
+                             std::string affinity_key, KeyClass klass,
+                             Admission* admission) {
   Job job;
   job.key = std::move(affinity_key);
+  job.klass = klass;
   job.work = std::move(task);
-  return Enqueue(std::move(job), /*may_reject=*/true, future);
+  const Admission result = Enqueue(std::move(job), /*may_reject=*/true, future);
+  if (admission != nullptr) {
+    *admission = result;
+  }
+  return result == Admission::kAccepted;
 }
 
 size_t Executor::queue_depth() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  return TotalQueuedLocked();
 }
 
 ExecutorStats Executor::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  ExecutorStats out = stats_;
+  out.queued = TotalQueuedLocked();
+  out.in_flight = in_flight_;
+  return out;
+}
+
+size_t Executor::KeyLoad(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = key_load_.find(key);
+  return it == key_load_.end() ? 0 : it->second;
+}
+
+size_t Executor::PickClass() {
+  const bool have_latency = !queues_[0].empty();
+  const bool have_batch = !queues_[1].empty();
+  if (have_latency && have_batch) {
+    if (options_.batch_weight <= 0) {
+      // Ungoverned: strict FIFO across classes by submission order.
+      return queues_[0].front().seq < queues_[1].front().seq ? 0 : 1;
+    }
+    // Weighted priority: latency first, but one batch job per batch_weight
+    // dequeues under contention, so batch cannot starve.
+    if (batch_credit_ >= options_.batch_weight - 1) {
+      batch_credit_ = 0;
+      return 1;
+    }
+    ++batch_credit_;
+    return 0;
+  }
+  return have_latency ? 0 : 1;
 }
 
 void Executor::WorkerLoop() {
@@ -132,7 +212,9 @@ void Executor::WorkerLoop() {
   // same key is cheapest to run *here* (delta restore instead of a full
   // image copy).  The scan is bounded and fairness-capped: after a few
   // consecutive out-of-order picks the worker must take the queue head, so
-  // no job can starve behind a stream of matching keys.
+  // no job can starve behind a stream of matching keys.  The scan stays
+  // within the class PickClass chose, so affinity can never invert the
+  // latency-vs-batch weighting.
   constexpr size_t kAffinityScan = 8;
   constexpr int kMaxConsecutiveSkips = 4;
   std::string last_key;
@@ -141,23 +223,31 @@ void Executor::WorkerLoop() {
     Job job;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) {
+      cv_.wait(lock, [&] { return stop_ || TotalQueuedLocked() > 0; });
+      if (TotalQueuedLocked() == 0) {
         return;  // stop requested and nothing left to drain
       }
+      const size_t cls = PickClass();
+      std::deque<Job>& queue = queues_[cls];
       size_t pick = 0;
       if (!last_key.empty() && skips < kMaxConsecutiveSkips) {
-        const size_t scan = std::min(queue_.size(), kAffinityScan);
+        const size_t scan = std::min(queue.size(), kAffinityScan);
         for (size_t i = 0; i < scan; ++i) {
-          if (!queue_[i].key.empty() && queue_[i].key == last_key) {
+          if (!queue[i].key.empty() && queue[i].key == last_key) {
             pick = i;
             break;
           }
         }
       }
       skips = pick == 0 ? 0 : skips + 1;
-      job = std::move(queue_[pick]);
-      queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(pick));
+      job = std::move(queue[pick]);
+      queue.erase(queue.begin() + static_cast<ptrdiff_t>(pick));
+      ++in_flight_;
+      if (cls == 0) {
+        ++stats_.dequeued_latency;
+      } else {
+        ++stats_.dequeued_batch;
+      }
     }
     cv_space_.notify_one();
     last_key = job.key;
@@ -165,6 +255,13 @@ void Executor::WorkerLoop() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.completed;
+      --in_flight_;
+      if (!job.key.empty()) {
+        auto it = key_load_.find(job.key);
+        if (it != key_load_.end() && --it->second == 0) {
+          key_load_.erase(it);
+        }
+      }
     }
   }
 }

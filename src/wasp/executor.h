@@ -24,6 +24,27 @@
 // generator dropping requests).  ExecutorStats counts accepts, rejections,
 // completions, and the peak queue depth so tests can assert the policy.
 //
+// Key-scoped governance sits on top of bounded admission.  A job's affinity
+// key is not just a locality hint any more — it is the unit the executor
+// accounts and polices:
+//
+//   * key_quota caps one key's jobs in the system (queued + in flight), so a
+//     hot snapshot key cannot monopolize the whole queue.  A quota rejection
+//     is classified separately from a global-full rejection (Admission /
+//     ExecutorStats.quota_rejected) so a serving front end can answer 429
+//     (per-tenant back off) instead of 503 (server overloaded).  The cap is
+//     hard: a submission over quota rejects immediately (never parks — a
+//     blocked hot-key submitter would keep dominating; shedding is the
+//     point), and a block_when_full waiter whose key filled while it was
+//     parked for global space is quota-rejected at wake instead of
+//     overshooting the cap.
+//   * Every job carries a KeyClass: latency-sensitive or batch.  Workers
+//     dequeue latency jobs first, but with a weighted escape hatch — under
+//     contention one batch job is taken per `batch_weight` dequeues — so
+//     priority never becomes batch starvation.  batch_weight <= 0 disables
+//     the classes entirely (strict cross-class FIFO by submission order):
+//     the ungoverned baseline the governance benchmarks compare against.
+//
 // Invocations are independent by construction (each owns its shell, its
 // hypercall frame, and its fd table), so the only shared state a worker
 // touches is the sharded Pool and the read-mostly SnapshotStore — both
@@ -45,6 +66,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -53,6 +75,22 @@
 #include "src/wasp/runtime.h"
 
 namespace wasp {
+
+// Scheduling class of a submitted job.  Latency-sensitive jobs are dequeued
+// preferentially; batch jobs fill the remaining capacity (weighted so they
+// cannot be starved either).
+enum class KeyClass {
+  kLatency = 0,  // interactive / latency-sensitive (the default)
+  kBatch = 1,    // throughput-oriented background work
+};
+
+// Why an admission-checked submission was (or was not) accepted.
+enum class Admission {
+  kAccepted,       // enqueued; the future resolves with the job's outcome
+  kQueueFull,      // global max_queue_depth reached under the reject policy
+  kQuotaExceeded,  // the job's key is at its per-key quota
+  kStopped,        // the submission raced executor shutdown
+};
 
 // Bounded-admission knobs (the backpressure half of the scale-out engine).
 struct ExecutorOptions {
@@ -64,15 +102,34 @@ struct ExecutorOptions {
   // caller sheds load (open-loop semantics).  Blocking Submit/SubmitTask
   // always wait for space regardless of this flag.
   bool block_when_full = true;
+  // Per-key cap on jobs in the system (queued + in flight) for keyed
+  // admission-checked submissions; 0 = unlimited.  The cap is hard in every
+  // full-queue policy: a submission over it rejects immediately at entry
+  // (kQuotaExceeded), and a block_when_full waiter whose key filled up
+  // while it was parked for global space is rejected at wake.
+  size_t key_quota = 0;
+  // Weighted dequeue: under contention (both classes queued), one batch job
+  // is dequeued per `batch_weight` dequeues; the rest are latency-class.
+  // <= 0 disables class priority: strict FIFO by submission order.  Values
+  // above 0 are clamped to at least 2 (a weight of 1 would pick batch on
+  // every contended dequeue — priority inversion, not weighting).
+  int batch_weight = 4;
 };
 
 // Monotone admission/progress counters (BatchStats' sibling for the
-// long-lived submission path).
+// long-lived submission path), plus two gauges snapshotted under the same
+// lock so accounting invariants are checkable at any observation point:
+//   submitted == completed + queued + in_flight
 struct ExecutorStats {
   uint64_t submitted = 0;         // jobs accepted into the queue
-  uint64_t rejected = 0;          // jobs refused (bounded admission or shutdown)
+  uint64_t rejected = 0;          // jobs refused: global queue full or shutdown
+  uint64_t quota_rejected = 0;    // jobs refused: per-key quota (never enqueued)
   uint64_t completed = 0;         // jobs run to completion
-  uint64_t peak_queue_depth = 0;  // high-water mark of the queue
+  uint64_t peak_queue_depth = 0;  // high-water mark of the queue (both classes)
+  uint64_t dequeued_latency = 0;  // jobs dequeued from the latency class
+  uint64_t dequeued_batch = 0;    // jobs dequeued from the batch class
+  uint64_t queued = 0;            // gauge: jobs waiting right now
+  uint64_t in_flight = 0;         // gauge: jobs running right now
 };
 
 class Executor {
@@ -107,25 +164,34 @@ class Executor {
   // Enqueues one invocation; the future resolves with its RunOutcome.
   // Waits for queue space when bounded admission is full.  If the executor
   // is (or starts) shutting down while the submitter waits, the returned
-  // future resolves with an Aborted outcome instead of running.
-  std::future<RunOutcome> Submit(VirtineSpec spec);
+  // future resolves with an Aborted outcome instead of running.  Blocking
+  // submissions bypass the per-key quota (trusted closed-loop path).
+  std::future<RunOutcome> Submit(VirtineSpec spec, KeyClass klass = KeyClass::kLatency);
 
   // Admission-checked enqueue.  Returns false — and does not enqueue — when
-  // the queue is at max_queue_depth and the policy is reject, or when the
-  // submission races executor shutdown; otherwise (including blocking until
-  // space in block_when_full mode) stores the outcome future in `*future`
-  // and returns true.
-  bool TrySubmit(VirtineSpec spec, std::future<RunOutcome>* future);
+  // the queue is at max_queue_depth and the policy is reject, when the
+  // job's key is at its quota, or when the submission races executor
+  // shutdown; otherwise (including blocking until space in block_when_full
+  // mode) stores the outcome future in `*future` and returns true.
+  // `admission` (optional) receives the classified decision, so callers can
+  // distinguish per-key shedding (429) from global overload (503).
+  bool TrySubmit(VirtineSpec spec, std::future<RunOutcome>* future,
+                 KeyClass klass = KeyClass::kLatency, Admission* admission = nullptr);
 
   // Task variants of the same two entry points.  `affinity_key` feeds the
-  // workers' keyed-dequeue affinity scan (empty = no affinity).
-  std::future<RunOutcome> SubmitTask(Task task, std::string affinity_key = {});
+  // workers' keyed-dequeue affinity scan and the per-key quota accounting
+  // (empty = no affinity, no quota).
+  std::future<RunOutcome> SubmitTask(Task task, std::string affinity_key = {},
+                                     KeyClass klass = KeyClass::kLatency);
   bool TrySubmitTask(Task task, std::future<RunOutcome>* future,
-                     std::string affinity_key = {});
+                     std::string affinity_key = {}, KeyClass klass = KeyClass::kLatency,
+                     Admission* admission = nullptr);
 
   size_t workers() const { return workers_.size(); }
   size_t queue_depth() const;
   ExecutorStats stats() const;
+  // Jobs in the system (queued + in flight) under `key` right now.
+  size_t KeyLoad(const std::string& key) const;
   const ExecutorOptions& options() const { return options_; }
 
   // Runs `specs` to completion over `concurrency` transient worker threads;
@@ -136,24 +202,37 @@ class Executor {
 
  private:
   struct Job {
-    std::string key;  // snapshot-affinity hint; empty = none
+    std::string key;  // snapshot-affinity hint + quota accounting unit
+    KeyClass klass = KeyClass::kLatency;
+    uint64_t seq = 0;  // submission order (cross-class FIFO when ungoverned)
     Task work;
     std::promise<RunOutcome> promise;
   };
 
   // Shared enqueue path.  `may_reject` selects TrySubmit semantics (honor
-  // the configured full-queue policy) over Submit semantics (always block
-  // for space).
-  bool Enqueue(Job job, bool may_reject, std::future<RunOutcome>* future);
+  // the quota and the configured full-queue policy) over Submit semantics
+  // (always block for space, no quota).
+  Admission Enqueue(Job job, bool may_reject, std::future<RunOutcome>* future);
   Task MakeInvokeTask(VirtineSpec spec);
+  // Picks the class queue the next dequeue should serve (mu_ held; at least
+  // one queue non-empty).
+  size_t PickClass();
   void WorkerLoop();
+
+  size_t TotalQueuedLocked() const { return queues_[0].size() + queues_[1].size(); }
 
   Runtime* runtime_;
   ExecutorOptions options_;
   mutable std::mutex mu_;
   std::condition_variable cv_;        // queue became non-empty / stopping
   std::condition_variable cv_space_;  // queue slot freed
-  std::deque<Job> queue_;
+  std::deque<Job> queues_[2];         // indexed by KeyClass
+  uint64_t next_seq_ = 0;
+  int batch_credit_ = 0;  // latency dequeues since the last forced batch pick
+  size_t in_flight_ = 0;
+  // Per-key jobs in the system (queued + in flight); entries erased at zero
+  // so the map tracks only live keys.
+  std::map<std::string, size_t> key_load_;
   ExecutorStats stats_;
   bool stop_ = false;
   std::vector<std::thread> workers_;

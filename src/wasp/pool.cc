@@ -93,7 +93,7 @@ std::unique_ptr<vkvm::Vm> Pool::PopAffine(Shard& shard, uint64_t generation,
     if (shells.empty()) {
       shard.affine.erase(it);
     }
-    affine_count_.fetch_sub(1, std::memory_order_relaxed);
+    NoteAffineRemoved(generation, mem_size);
     return vm;
   }
   return nullptr;
@@ -107,15 +107,155 @@ std::unique_ptr<vkvm::Vm> Pool::PopAnyAffine(Shard& shard, uint64_t mem_size) {
         continue;
       }
       std::unique_ptr<vkvm::Vm> vm = std::move(shells[i]);
+      const uint64_t generation = it->first;
       shells.erase(shells.begin() + static_cast<ptrdiff_t>(i));
       if (shells.empty()) {
         shard.affine.erase(it);
       }
-      affine_count_.fetch_sub(1, std::memory_order_relaxed);
+      NoteAffineRemoved(generation, mem_size);
       return vm;
     }
   }
   return nullptr;
+}
+
+bool Pool::TryNoteAffineParked(uint64_t generation, uint64_t bytes) {
+  {
+    std::lock_guard<std::mutex> lock(gen_mu_);
+    if (retired_generations_.count(generation) > 0) {
+      return false;  // dead generation: parking it would strand the memory
+    }
+    GenInfo& info = generations_[generation];
+    // Park-time LRU: every affine hit parks the shell right back after its
+    // run, so refreshing the tick on park tracks use recency without a
+    // second bookkeeping call on the acquire path.
+    info.last_use_tick = use_tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+    ++info.parked_shells;
+  }
+  affine_count_.fetch_add(1, std::memory_order_relaxed);
+  stats_.affine_resident_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  return true;
+}
+
+void Pool::NoteAffineRemoved(uint64_t generation, uint64_t bytes) {
+  affine_count_.fetch_sub(1, std::memory_order_relaxed);
+  stats_.affine_resident_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(gen_mu_);
+  auto it = generations_.find(generation);
+  if (it != generations_.end() && --it->second.parked_shells <= 0) {
+    generations_.erase(it);
+  }
+}
+
+void Pool::Dispose(std::unique_ptr<vkvm::Vm> vm, size_t shard) {
+  switch (options_.mode) {
+    case CleanMode::kNone:
+      return;  // no pooling: drop the shell (unreachable — kNone never parks)
+    case CleanMode::kSync:
+      // No crew to hand it to; clean here but off the modeled critical path
+      // (eviction/retirement is maintenance, not an acquire or release).
+      CleanShell(vm.get(), /*charge_inline=*/false);
+      ParkClean(std::move(vm), shard);
+      return;
+    case CleanMode::kAsync: {
+      {
+        std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+        shards_[shard]->dirty.push_back(std::move(vm));
+        dirty_count_.fetch_add(1);
+      }
+      {
+        std::lock_guard<std::mutex> lock(cleaner_mu_);
+      }
+      cleaner_cv_.notify_one();
+      return;
+    }
+  }
+}
+
+void Pool::EnforceAffineBudget() {
+  if (options_.affine_budget_bytes == 0) {
+    return;
+  }
+  // Bounded sweep: racing acquires can momentarily hide a victim's shells,
+  // so cap the attempts instead of spinning on a moving target.
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    if (stats_.affine_resident_bytes.load(std::memory_order_relaxed) <=
+        options_.affine_budget_bytes) {
+      return;
+    }
+    // Least-recently-used generation with parked shells.
+    uint64_t victim = 0;
+    {
+      std::lock_guard<std::mutex> lock(gen_mu_);
+      uint64_t best_tick = UINT64_MAX;
+      for (const auto& [generation, info] : generations_) {
+        if (info.parked_shells > 0 && info.last_use_tick < best_tick) {
+          best_tick = info.last_use_tick;
+          victim = generation;
+        }
+      }
+    }
+    if (victim == 0) {
+      return;  // nothing parked any more (raced with acquires)
+    }
+    std::unique_ptr<vkvm::Vm> vm;
+    size_t source = 0;
+    for (size_t i = 0; i < shards_.size() && vm == nullptr; ++i) {
+      Shard& shard = *shards_[i];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.affine.find(victim);
+      if (it == shard.affine.end() || it->second.empty()) {
+        continue;
+      }
+      vm = std::move(it->second.back());
+      it->second.pop_back();
+      if (it->second.empty()) {
+        shard.affine.erase(it);
+      }
+      NoteAffineRemoved(victim, vm->config().mem_size);
+      source = i;
+    }
+    if (vm == nullptr) {
+      continue;  // the victim's shells were acquired mid-sweep; re-pick
+    }
+    stats_.affine_evictions.fetch_add(1, std::memory_order_relaxed);
+    stats_.affine_reclaims.fetch_add(1, std::memory_order_relaxed);
+    Dispose(std::move(vm), source);
+  }
+}
+
+void Pool::RetireGeneration(uint64_t generation) {
+  if (generation == 0) {
+    return;
+  }
+  // Mark the generation dead *before* sweeping: any racing release that
+  // parks after the sweep passed its shard must observe the mark (its park
+  // check runs under the shard lock, after this insert) and divert.
+  {
+    std::lock_guard<std::mutex> lock(gen_mu_);
+    retired_generations_.insert(generation);
+  }
+  // Sweep every shard first, then dispose outside the shard locks (cleaning
+  // megabytes under a stripe lock would convoy concurrent acquirers).
+  std::vector<std::pair<std::unique_ptr<vkvm::Vm>, size_t>> victims;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.affine.find(generation);
+    if (it == shard.affine.end()) {
+      continue;
+    }
+    for (auto& vm : it->second) {
+      NoteAffineRemoved(generation, vm->config().mem_size);
+      victims.emplace_back(std::move(vm), i);
+    }
+    shard.affine.erase(it);
+  }
+  for (auto& [vm, shard] : victims) {
+    stats_.affine_retired.fetch_add(1, std::memory_order_relaxed);
+    stats_.affine_reclaims.fetch_add(1, std::memory_order_relaxed);
+    Dispose(std::move(vm), shard);
+  }
 }
 
 std::unique_ptr<vkvm::Vm> Pool::AcquireClean(const vkvm::VmConfig& config, bool* from_pool) {
@@ -270,14 +410,32 @@ void Pool::ReleaseAffine(std::unique_ptr<vkvm::Vm> vm, uint64_t generation) {
   // fully describe this shell's memory; record the delta size (the next
   // restore's work) and park.  Accounting restarts for the next tenant; the
   // vCPU is reset by RestoreArch on the next restore.
-  stats_.affine_parks.fetch_add(1, std::memory_order_relaxed);
-  stats_.delta_pages.fetch_add(vm->memory().CountEpochDirtyPages(),
-                               std::memory_order_relaxed);
   vm->ResetAccounting();
+  const uint64_t delta_pages = vm->memory().CountEpochDirtyPages();
+  const uint64_t bytes = vm->config().mem_size;
   const size_t home = HomeShard();
-  std::lock_guard<std::mutex> lock(shards_[home]->mu);
-  shards_[home]->affine[generation].push_back(std::move(vm));
-  affine_count_.fetch_add(1, std::memory_order_relaxed);
+  bool parked = false;
+  {
+    std::lock_guard<std::mutex> lock(shards_[home]->mu);
+    if (TryNoteAffineParked(generation, bytes)) {
+      shards_[home]->affine[generation].push_back(std::move(vm));
+      parked = true;
+    }
+  }
+  if (!parked) {
+    // The generation was retired while this invocation was in flight
+    // (RetireGeneration's sweep ran before this release): divert the shell
+    // to the cleaning path — a dead generation must never re-park.
+    stats_.affine_retired.fetch_add(1, std::memory_order_relaxed);
+    stats_.affine_reclaims.fetch_add(1, std::memory_order_relaxed);
+    Dispose(std::move(vm), home);
+    return;
+  }
+  stats_.affine_parks.fetch_add(1, std::memory_order_relaxed);
+  stats_.delta_pages.fetch_add(delta_pages, std::memory_order_relaxed);
+  // The park may have pushed parked residency over budget; evict LRU
+  // generations (outside the shard lock) until it fits again.
+  EnforceAffineBudget();
 }
 
 std::unique_ptr<vkvm::Vm> Pool::PopDirty(size_t home, size_t* source_shard) {
@@ -366,6 +524,9 @@ PoolStats Pool::stats() const {
   out.affine_parks = stats_.affine_parks.load(std::memory_order_relaxed);
   out.affine_reclaims = stats_.affine_reclaims.load(std::memory_order_relaxed);
   out.delta_pages = stats_.delta_pages.load(std::memory_order_relaxed);
+  out.affine_evictions = stats_.affine_evictions.load(std::memory_order_relaxed);
+  out.affine_retired = stats_.affine_retired.load(std::memory_order_relaxed);
+  out.affine_resident_bytes = stats_.affine_resident_bytes.load(std::memory_order_relaxed);
   return out;
 }
 

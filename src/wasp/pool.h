@@ -22,6 +22,20 @@
 // generation) only ever sees an affine shell after it has been fully
 // cleaned (reclaimed).
 //
+// Governance: parked affine shells are memory a long-lived service pays for
+// — every parked shell keeps a full guest image resident.  Two policies
+// bound that residency.  (1) A configurable resident-byte budget
+// (PoolOptions::affine_budget_bytes): when a park pushes the total parked
+// bytes over budget, shells of the least-recently-used *generation* are
+// evicted into the cleaning path (the async cleaner crew when one exists,
+// inline otherwise) until the budget holds again.  (2) Eager retirement
+// (RetireGeneration): when a snapshot generation is retired — its key was
+// re-captured or dropped — every shell parked under it is reclaimed
+// immediately instead of lingering until a non-affine consumer happens to
+// sweep it up.  Both paths are counted in PoolStats (affine_evictions,
+// affine_retired, and the affine_resident_bytes gauge) so tests and benches
+// can assert the budget actually holds.
+//
 // Concurrency model: the pool is lock-striped into N shards, each with its
 // own mutex, free lists, affine lists, and dirty queue.  A thread's
 // Acquire/Release lands on its home shard (stable hash of the thread id),
@@ -42,6 +56,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -65,8 +80,12 @@ struct PoolStats {
   // Snapshot-affinity counters.
   uint64_t affine_hits = 0;      // keyed acquires served with the snapshot resident
   uint64_t affine_parks = 0;     // releases that skipped zeroing (snapshot-backed)
-  uint64_t affine_reclaims = 0;  // affine shells cleaned for a non-affine consumer
+  uint64_t affine_reclaims = 0;  // affine shells cleaned: demand, budget, or retire
   uint64_t delta_pages = 0;      // epoch-dirty pages recorded across affine parks
+  // Governance counters (the eviction policy's observable behavior).
+  uint64_t affine_evictions = 0;       // shells evicted by the resident-byte budget
+  uint64_t affine_retired = 0;         // shells eagerly reclaimed by RetireGeneration
+  uint64_t affine_resident_bytes = 0;  // gauge: bytes parked affine right now
 };
 
 struct PoolOptions {
@@ -76,6 +95,10 @@ struct PoolOptions {
   int shards = 8;
   // Async cleaner crew size (ignored unless mode == kAsync).
   int cleaners = 2;
+  // Resident-byte budget for parked snapshot-affine shells; 0 = unlimited.
+  // A park that exceeds it evicts least-recently-used generations into the
+  // cleaning path until parked bytes fit again.
+  uint64_t affine_budget_bytes = 0;
 };
 
 class Pool {
@@ -107,6 +130,13 @@ class Pool {
   // delta is recorded in stats (delta_pages).  Never hand a shell here whose
   // memory deviates from the snapshot outside its epoch bitmap.
   void ReleaseAffine(std::unique_ptr<vkvm::Vm> vm, uint64_t generation);
+
+  // Eagerly reclaims every shell parked under snapshot `generation` (the
+  // generation was retired: its key re-captured or dropped).  Shells go to
+  // the cleaner crew in async mode — retirement is maintenance, not a
+  // critical path — and are cleaned inline otherwise.  Counted per shell in
+  // affine_retired and affine_reclaims.
+  void RetireGeneration(uint64_t generation);
 
   // Blocks until the cleaner crew has drained every dirty queue (benchmark
   // barrier).
@@ -159,6 +189,20 @@ class Pool {
   std::unique_ptr<vkvm::Vm> PopDirty(size_t home, size_t* source_shard);
   void CleanerLoop(size_t home);
   void ParkClean(std::unique_ptr<vkvm::Vm> vm, size_t shard);
+  // Affine-residency bookkeeping shared by every park/pop/evict path.
+  // TryNoteAffineParked refuses (returns false) when the generation was
+  // retired — the caller must divert the shell to the cleaning path instead
+  // of parking it.  Both are called with the owning shard's lock held, so a
+  // park can never interleave with RetireGeneration's sweep of that shard.
+  bool TryNoteAffineParked(uint64_t generation, uint64_t bytes);
+  void NoteAffineRemoved(uint64_t generation, uint64_t bytes);
+  // Sends a formerly-affine shell through the cleaning path: the dirty
+  // queue (async mode) or an inline clean (sync mode).  `shard` is where it
+  // should land / was parked.
+  void Dispose(std::unique_ptr<vkvm::Vm> vm, size_t shard);
+  // Evicts least-recently-used generations until parked affine bytes fit
+  // the configured budget again (no-op when unlimited).
+  void EnforceAffineBudget();
 
   const PoolOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -179,6 +223,23 @@ class Pool {
   std::atomic<bool> stop_{false};
   std::vector<std::thread> cleaners_;
 
+  // Generation-LRU state for the eviction policy: per-generation last-use
+  // tick (bumped on park and affine hit) and live parked-shell count, under
+  // a dedicated mutex so shard locks never nest inside it.
+  struct GenInfo {
+    uint64_t last_use_tick = 0;
+    int64_t parked_shells = 0;
+  };
+  mutable std::mutex gen_mu_;
+  std::map<uint64_t, GenInfo> generations_;
+  // Generations that have been retired.  A release racing RetireGeneration
+  // can finish after the sweep; its park attempt consults this set (under
+  // gen_mu_, inside the shard lock) and diverts to the cleaning path, so a
+  // dead generation can never re-strand memory.  Generations are never
+  // reused, so entries stay valid forever; one u64 per retirement.
+  std::set<uint64_t> retired_generations_;
+  std::atomic<uint64_t> use_tick_{0};
+
   struct AtomicStats {
     std::atomic<uint64_t> acquires{0};
     std::atomic<uint64_t> pool_hits{0};
@@ -190,6 +251,9 @@ class Pool {
     std::atomic<uint64_t> affine_parks{0};
     std::atomic<uint64_t> affine_reclaims{0};
     std::atomic<uint64_t> delta_pages{0};
+    std::atomic<uint64_t> affine_evictions{0};
+    std::atomic<uint64_t> affine_retired{0};
+    std::atomic<uint64_t> affine_resident_bytes{0};
   };
   mutable AtomicStats stats_;
 };

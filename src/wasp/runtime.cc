@@ -21,6 +21,7 @@ PoolOptions MakePoolOptions(const RuntimeOptions& options) {
   pool.mode = options.clean_mode;
   pool.shards = options.pool_shards;
   pool.cleaners = options.pool_cleaners;
+  pool.affine_budget_bytes = options.affine_budget_bytes;
   return pool;
 }
 
@@ -40,6 +41,13 @@ std::future<RunOutcome> Runtime::InvokeAsync(VirtineSpec spec) {
     executor_ = std::make_unique<Executor>(this, workers);
   });
   return executor_->Submit(std::move(spec));
+}
+
+void Runtime::RetireSnapshot(const std::string& key) {
+  SnapshotRef old = snapshots_.Take(key);
+  if (old != nullptr) {
+    pool_.RetireGeneration(old->generation);
+  }
 }
 
 vkvm::VmConfig Runtime::MakeVmConfig(uint64_t mem_size) const {

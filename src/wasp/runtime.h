@@ -153,6 +153,9 @@ struct RuntimeOptions {
   // every warm restore pays the full image copy (the paper's simple
   // snapshotting strategy) — kept as a knob for A/B benchmarking.
   bool snapshot_affinity = true;
+  // Resident-byte budget for the pool's parked snapshot-affine shells
+  // (generation-LRU eviction when exceeded); 0 = unlimited.
+  uint64_t affine_budget_bytes = 0;
 };
 
 class Executor;
@@ -175,6 +178,13 @@ class Runtime {
   // pointers (image, input, channel) must stay alive until the future
   // resolves.
   std::future<RunOutcome> InvokeAsync(VirtineSpec spec);
+
+  // Retires `key`'s snapshot: drops it from the store and eagerly reclaims
+  // every pool shell parked under its generation (cleaner crew in async
+  // mode).  The next snapshot-enabled invocation of the key re-captures —
+  // the re-snapshot lifecycle for long-lived services whose warm state
+  // drifts (e.g. after JIT warm-up).
+  void RetireSnapshot(const std::string& key);
 
   Pool& pool() { return pool_; }
   SnapshotStore& snapshots() { return snapshots_; }

@@ -122,6 +122,21 @@ class SnapshotStore {
     snaps_.erase(key);
   }
 
+  // Removes and returns `key`'s snapshot (nullptr when absent).  The
+  // retirement path uses the returned ref's generation to eagerly reclaim
+  // the pool's parked affine shells, so a re-captured key never strands the
+  // old generation's memory.
+  SnapshotRef Take(const std::string& key) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = snaps_.find(key);
+    if (it == snaps_.end()) {
+      return nullptr;
+    }
+    SnapshotRef old = std::move(it->second);
+    snaps_.erase(it);
+    return old;
+  }
+
   size_t size() const {
     std::shared_lock<std::shared_mutex> lock(mu_);
     return snaps_.size();

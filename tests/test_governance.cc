@@ -1,0 +1,370 @@
+// Key-scoped resource governance tests: the pool's affine-shell eviction
+// policy (generation-LRU under a resident-byte budget, reclaim via the
+// cleaner crew), eager generation retirement (RetireGeneration /
+// Runtime::RetireSnapshot), the deterministic governed-replay scheduler
+// (GovernTrace: per-key quotas, weighted class dequeue, shed
+// classification, fairness), and the wall-clock-paced replay mode.  The
+// pool and Vespid tests run real shells/invocations; run under TSan
+// (TSAN=1 ./ci.sh) to check the synchronization.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/vjs/vjs.h"
+#include "src/vnet/serverless.h"
+#include "src/vrt/env.h"
+#include "src/vrt/samples.h"
+#include "src/wasp/pool.h"
+#include "src/wasp/runtime.h"
+#include "src/wasp/snapshot.h"
+#include "src/wasp/vfunc.h"
+
+namespace {
+
+constexpr uint64_t kMb = 1ULL << 20;
+
+// Creates a shell, dirties one page, and parks it affine under `gen`.
+void ParkAffineShell(wasp::Pool& pool, uint64_t mem_size, uint64_t gen) {
+  vkvm::VmConfig cfg;
+  cfg.mem_size = mem_size;
+  auto vm = vkvm::Vm::Create(cfg);
+  uint8_t b = 1;
+  ASSERT_TRUE(vm->memory().Write(0x4000, &b, 1).ok());
+  pool.ReleaseAffine(std::move(vm), gen);
+}
+
+// --- Affine-shell eviction budget -------------------------------------------
+
+TEST(AffineBudget, ParkOverBudgetEvictsLeastRecentlyUsedGeneration) {
+  wasp::PoolOptions options;
+  options.mode = wasp::CleanMode::kSync;
+  options.shards = 1;
+  options.affine_budget_bytes = 2 * kMb;
+  wasp::Pool pool(options);
+
+  // Three generations parked in order: the third park exceeds the 2 MB
+  // budget, so the oldest generation (10) must be evicted.
+  ParkAffineShell(pool, kMb, 10);
+  ParkAffineShell(pool, kMb, 20);
+  EXPECT_EQ(pool.stats().affine_resident_bytes, 2 * kMb);
+  EXPECT_EQ(pool.stats().affine_evictions, 0u);
+  ParkAffineShell(pool, kMb, 30);
+
+  const wasp::PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.affine_resident_bytes, 2 * kMb);
+  EXPECT_EQ(stats.affine_evictions, 1u);
+  EXPECT_EQ(pool.AffineShells(10), 0u);  // LRU victim
+  EXPECT_EQ(pool.AffineShells(20), 1u);
+  EXPECT_EQ(pool.AffineShells(30), 1u);
+  // Sync mode cleans the evicted shell inline; it is a free shell now.
+  EXPECT_EQ(pool.TotalFreeShells(), 1u);
+}
+
+TEST(AffineBudget, RecentlyParkedGenerationSurvivesOlderOne) {
+  wasp::PoolOptions options;
+  options.mode = wasp::CleanMode::kSync;
+  options.shards = 1;
+  options.affine_budget_bytes = 2 * kMb;
+  wasp::Pool pool(options);
+
+  ParkAffineShell(pool, kMb, 10);
+  ParkAffineShell(pool, kMb, 20);
+  // Re-park generation 10 (acquire its shell affine and give it back):
+  // park-time LRU now ranks 20 as the oldest.
+  bool affine_hit = false;
+  vkvm::VmConfig cfg;
+  cfg.mem_size = kMb;
+  auto vm = pool.AcquireAffine(cfg, 10, &affine_hit);
+  ASSERT_TRUE(affine_hit);
+  pool.ReleaseAffine(std::move(vm), 10);
+
+  ParkAffineShell(pool, kMb, 30);
+  EXPECT_EQ(pool.AffineShells(20), 0u);  // now the LRU victim
+  EXPECT_EQ(pool.AffineShells(10), 1u);
+  EXPECT_EQ(pool.AffineShells(30), 1u);
+  EXPECT_EQ(pool.stats().affine_resident_bytes, 2 * kMb);
+}
+
+TEST(AffineBudget, EvictedShellsAreReclaimedByTheCleanerCrew) {
+  wasp::PoolOptions options;
+  options.mode = wasp::CleanMode::kAsync;
+  options.shards = 1;
+  options.cleaners = 1;
+  options.affine_budget_bytes = kMb;
+  wasp::Pool pool(options);
+
+  ParkAffineShell(pool, kMb, 11);
+  ParkAffineShell(pool, kMb, 22);  // over budget: 11 evicted to the crew
+
+  const wasp::PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.affine_evictions, 1u);
+  EXPECT_EQ(stats.affine_resident_bytes, kMb);
+  EXPECT_EQ(pool.AffineShells(11), 0u);
+  EXPECT_EQ(pool.AffineShells(22), 1u);
+  pool.DrainCleaner();
+  // The crew cleaned it off the critical path; it is a free shell now.
+  EXPECT_EQ(pool.TotalFreeShells(), 1u);
+  EXPECT_GE(pool.stats().cleans, 1u);
+}
+
+// --- Eager generation retirement --------------------------------------------
+
+TEST(Retire, RetireGenerationEnqueuesParkedShellsToTheCleanerCrew) {
+  wasp::PoolOptions options;
+  options.mode = wasp::CleanMode::kAsync;
+  options.shards = 2;
+  options.cleaners = 1;
+  wasp::Pool pool(options);
+
+  ParkAffineShell(pool, kMb, 7);
+  ParkAffineShell(pool, kMb, 7);
+  ParkAffineShell(pool, kMb, 9);
+  ASSERT_EQ(pool.AffineShells(7), 2u);
+
+  pool.RetireGeneration(7);
+  const wasp::PoolStats stats = pool.stats();
+  EXPECT_EQ(pool.AffineShells(7), 0u);   // gone immediately, not on demand
+  EXPECT_EQ(pool.AffineShells(9), 1u);   // other generations untouched
+  EXPECT_EQ(stats.affine_retired, 2u);
+  EXPECT_GE(stats.affine_reclaims, 2u);  // retirement counts as reclaim
+  EXPECT_EQ(stats.affine_resident_bytes, kMb);
+
+  pool.DrainCleaner();
+  EXPECT_EQ(pool.TotalFreeShells(), 2u);
+}
+
+TEST(Retire, LateReleaseAfterRetireDivertsToCleaningInsteadOfParking) {
+  // An invocation can still hold a shell of generation G when G is retired;
+  // its eventual ReleaseAffine must not re-park under the dead generation
+  // (nothing would ever reclaim it) — it goes through the cleaning path.
+  wasp::PoolOptions options;
+  options.mode = wasp::CleanMode::kSync;
+  options.shards = 1;
+  wasp::Pool pool(options);
+
+  pool.RetireGeneration(77);     // G dies while the shell is "in flight"
+  ParkAffineShell(pool, kMb, 77);  // the late release
+
+  const wasp::PoolStats stats = pool.stats();
+  EXPECT_EQ(pool.AffineShells(77), 0u);
+  EXPECT_EQ(stats.affine_resident_bytes, 0u);
+  EXPECT_EQ(stats.affine_parks, 0u);       // it was never parked
+  EXPECT_EQ(stats.affine_retired, 1u);     // late retirement reclaim
+  EXPECT_EQ(pool.TotalFreeShells(), 1u);   // cleaned into the free lists
+}
+
+TEST(Retire, RuntimeRetireSnapshotRecapturesUnderBudgetInALoop) {
+  auto image = vrt::BuildImage(vrt::Env::kLong64, vrt::FibSource());
+  ASSERT_TRUE(image.ok());
+  wasp::RuntimeOptions options;
+  options.affine_budget_bytes = 4 * kMb;
+  wasp::Runtime runtime(options);
+
+  wasp::VirtineSpec spec;
+  spec.image = &image.value();
+  spec.key = "svc";
+  spec.use_snapshot = true;
+  wasp::VirtineFunc<int64_t(int64_t)> fib(&runtime, spec);
+
+  constexpr int kRounds = 3;
+  uint64_t last_generation = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      auto r = fib.Call(10);
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(*r, 55);
+    }
+    // First call of the round re-captured (no snapshot existed).
+    const wasp::SnapshotRef snap = runtime.snapshots().Find("svc");
+    ASSERT_NE(snap, nullptr);
+    EXPECT_NE(snap->generation, last_generation) << "round " << round;
+    last_generation = snap->generation;
+    EXPECT_LE(runtime.pool().stats().affine_resident_bytes,
+              options.affine_budget_bytes);
+
+    // Retire: the store forgets the key and the parked shells are reclaimed
+    // eagerly — nothing is left stranded under the dead generation.
+    runtime.RetireSnapshot("svc");
+    EXPECT_EQ(runtime.snapshots().Find("svc"), nullptr);
+    EXPECT_EQ(runtime.pool().AffineShells(last_generation), 0u);
+  }
+  const wasp::PoolStats stats = runtime.pool().stats();
+  EXPECT_GE(stats.affine_retired, static_cast<uint64_t>(kRounds));
+  EXPECT_EQ(stats.affine_resident_bytes, 0u);  // every round fully reclaimed
+}
+
+// --- GovernTrace: the deterministic governed-replay scheduler ----------------
+
+// A synthetic overload mix: a batch tenant flooding at 5x capacity and an
+// interactive tenant at 1/8 of capacity.  No real invocations — the
+// scheduler itself is under test, deterministically.
+vnet::MeasuredTrace SyntheticHotBatchTrace() {
+  vnet::MeasuredTrace trace;
+  trace.names = {"interactive", "batch"};
+  trace.classes = {wasp::KeyClass::kLatency, wasp::KeyClass::kBatch};
+  std::vector<std::pair<double, int>> merged;
+  for (int i = 0; i < 200; ++i) {  // batch: every 1 ms, 5 ms service
+    merged.emplace_back(1000.0 * i, 1);
+  }
+  for (int i = 0; i < 50; ++i) {  // interactive: every 4 ms, 2 ms service
+    merged.emplace_back(500.0 + 4000.0 * i, 0);
+  }
+  std::sort(merged.begin(), merged.end());
+  for (const auto& [at, tenant] : merged) {
+    trace.arrivals_us.push_back(at);
+    trace.tenant.push_back(tenant);
+    trace.service_us.push_back(tenant == 1 ? 5000.0 : 2000.0);
+    trace.cold.push_back(false);
+  }
+  return trace;
+}
+
+TEST(GovernTrace, QuotaAndPriorityBoundInteractiveQueueWait) {
+  const vnet::MeasuredTrace trace = SyntheticHotBatchTrace();
+
+  vnet::GovernanceOptions ungoverned;
+  ungoverned.lanes = 1;
+  ungoverned.batch_weight = 0;  // FIFO, no quota: the undifferentiated flood
+  const vnet::GovernedReplay flood = vnet::GovernTrace(trace, ungoverned);
+
+  // Quota sized to the interactive tenant's own worst-case backlog (~3: two
+  // queued behind a 5 ms batch head-of-line service plus one running), so
+  // only the flood sheds.
+  vnet::GovernanceOptions governed = ungoverned;
+  governed.key_quota = 4;
+  governed.batch_weight = 4;
+  const vnet::GovernedReplay fair = vnet::GovernTrace(trace, governed);
+
+  // Conservation at every tenant: offered splits exactly.
+  for (const auto& replay : {flood, fair}) {
+    for (const vnet::TenantOutcome& tenant : replay.tenants) {
+      EXPECT_EQ(tenant.offered,
+                tenant.completed + tenant.shed_quota + tenant.shed_overload)
+          << tenant.name;
+    }
+  }
+
+  // Ungoverned: everything is admitted (unbounded queue) and the
+  // interactive tenant drowns behind the batch backlog.
+  EXPECT_EQ(flood.tenants[0].shed_quota + flood.tenants[0].shed_overload, 0u);
+  EXPECT_EQ(flood.tenants[1].shed_quota + flood.tenants[1].shed_overload, 0u);
+  EXPECT_DOUBLE_EQ(flood.fairness_index, 1.0);  // equally admitted, equally drowned
+
+  // Governed: the batch key sheds at its quota, the interactive tenant
+  // completes everything and its p99 queue wait collapses.
+  EXPECT_EQ(fair.tenants[0].shed_quota, 0u);
+  EXPECT_EQ(fair.tenants[0].completed, fair.tenants[0].offered);
+  EXPECT_GT(fair.tenants[1].shed_quota, 0u);
+  EXPECT_GT(fair.tenants[1].shed_rate, 0.5);  // the flood is mostly shed
+  EXPECT_GT(flood.tenants[0].p99_queue_wait_us,
+            10.0 * fair.tenants[0].p99_queue_wait_us);
+  EXPECT_GT(fair.fairness_index, 0.0);
+  EXPECT_LE(fair.fairness_index, 1.0);
+
+  // Batch is not starved: it still completes work under governance.
+  EXPECT_GT(fair.tenants[1].completed, 0u);
+
+  // Deterministic: the same trace governs identically every time.
+  const vnet::GovernedReplay again = vnet::GovernTrace(trace, governed);
+  EXPECT_EQ(again.tenants[0].p99_queue_wait_us, fair.tenants[0].p99_queue_wait_us);
+  EXPECT_EQ(again.tenants[1].shed_quota, fair.tenants[1].shed_quota);
+  EXPECT_EQ(again.aggregate_rps, fair.aggregate_rps);
+}
+
+TEST(GovernTrace, GlobalBoundShedsAsOverloadNotQuota) {
+  const vnet::MeasuredTrace trace = SyntheticHotBatchTrace();
+  vnet::GovernanceOptions options;
+  options.lanes = 1;
+  options.max_queue_depth = 4;
+  options.batch_weight = 0;  // bound only: classification must say overload
+  const vnet::GovernedReplay replay = vnet::GovernTrace(trace, options);
+  uint64_t overload = 0;
+  uint64_t quota = 0;
+  for (const vnet::TenantOutcome& tenant : replay.tenants) {
+    overload += tenant.shed_overload;
+    quota += tenant.shed_quota;
+  }
+  EXPECT_GT(overload, 0u);
+  EXPECT_EQ(quota, 0u);
+}
+
+// --- Vespid multi-tenant measurement (real invocations) ----------------------
+
+TEST(MultiTenant, MeasuredTraceCoversEveryArrivalOfEveryTenant) {
+  wasp::Runtime runtime;
+  vnet::Vespid vespid(&runtime);
+  ASSERT_TRUE(vespid.Register("b64", vjs::Base64ScriptSource()).ok());
+  ASSERT_TRUE(vespid
+                  .Register("echo",
+                            "var i = 0; while (i < input_len()) { out(input(i)); "
+                            "i = i + 1; }")
+                  .ok());
+
+  std::vector<vnet::TenantSpec> tenants(2);
+  tenants[0].name = "b64";
+  tenants[0].klass = wasp::KeyClass::kLatency;
+  tenants[0].phases = {{40, 0.2}};
+  tenants[0].payload = std::vector<uint8_t>(64, 7);
+  tenants[1].name = "echo";
+  tenants[1].klass = wasp::KeyClass::kBatch;
+  tenants[1].phases = {{80, 0.2}};
+  tenants[1].payload = std::vector<uint8_t>(32, 9);
+
+  auto trace = vespid.MeasureMultiTenant(tenants, /*concurrency=*/4, /*seed=*/42);
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  const size_t n = trace->arrivals_us.size();
+  ASSERT_EQ(n, 8u + 16u);
+  ASSERT_EQ(trace->service_us.size(), n);
+  ASSERT_EQ(trace->cold.size(), n);
+  uint64_t per_tenant[2] = {0, 0};
+  bool cold_seen[2] = {false, false};
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_GT(trace->service_us[i], 0.0);
+    if (i > 0) {
+      EXPECT_GE(trace->arrivals_us[i], trace->arrivals_us[i - 1]);
+    }
+    ++per_tenant[trace->tenant[i]];
+    cold_seen[trace->tenant[i]] = cold_seen[trace->tenant[i]] || trace->cold[i];
+  }
+  EXPECT_EQ(per_tenant[0], 8u);
+  EXPECT_EQ(per_tenant[1], 16u);
+  // Each tenant's first invocation booted from its image (its own key).
+  EXPECT_TRUE(cold_seen[0]);
+  EXPECT_TRUE(cold_seen[1]);
+
+  // The measured trace feeds the governed scheduler end to end.
+  vnet::GovernanceOptions options;
+  options.lanes = 2;
+  options.key_quota = 2;
+  const vnet::GovernedReplay replay = vnet::GovernTrace(*trace, options);
+  uint64_t offered = 0;
+  for (const vnet::TenantOutcome& tenant : replay.tenants) {
+    offered += tenant.offered;
+    EXPECT_EQ(tenant.offered,
+              tenant.completed + tenant.shed_quota + tenant.shed_overload);
+  }
+  EXPECT_EQ(offered, n);
+}
+
+// --- Wall-clock-paced replay (soak mode) -------------------------------------
+
+TEST(PacedReplay, WallClockPacingStretchesTheReplayToTheTraceDuration) {
+  wasp::Runtime runtime;
+  vnet::Vespid vespid(&runtime);
+  ASSERT_TRUE(vespid.Register("b64", vjs::Base64ScriptSource()).ok());
+  const std::vector<uint8_t> payload(32, 3);
+  const std::vector<vnet::LoadPhase> phases = {{100, 0.05}};  // 5 arrivals over 50 ms
+
+  vnet::ReplayOptions options;
+  options.concurrency = 2;
+  options.pace_wall_clock = true;
+  auto replay = vespid.ReplayBurstyLoad("b64", phases, payload, options);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->sim.total_requests, 5u);
+  // The last arrival sits at ~40 ms into the trace; pacing must have held
+  // dispatch back at least that long (default mode submits instantly).
+  EXPECT_GE(replay->wall_ns, 30ull * 1000 * 1000);
+}
+
+}  // namespace

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -204,6 +205,87 @@ TEST(ConcurrentServer, RejectModeShedsOverflowWith503) {
   const wasp::ExecutorStats xstats = server.executor_stats();
   EXPECT_EQ(xstats.rejected, 1u);
   EXPECT_EQ(xstats.submitted, 2u);
+}
+
+TEST(ConcurrentServer, RouteQuotaShedsWith429WhileOverloadSheds503) {
+  wasp::Runtime runtime;
+  wasp::HostEnv files;
+  files.PutFile("/file.txt", std::string(kBodySize, 'q'));
+  vnet::ConcurrentServerOptions options;
+  options.lanes = 1;
+  options.max_queue_depth = 8;
+  options.block_when_full = false;
+  options.key_quota = 2;
+  options.route_classes["/hot"] = wasp::KeyClass::kBatch;
+  vnet::ConcurrentHttpServer server(&runtime, &files, options);
+
+  // Plug the single lane: a connection with no request bytes blocks the
+  // handler in recv until we feed it.
+  wasp::ByteChannel plug;
+  auto plug_future = server.SubmitConnection(plug, vnet::ServeMode::kNative);
+  for (int i = 0; i < 5000 && server.queue_depth() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(server.queue_depth(), 0u);
+
+  // Two /hot connections fill that route's quota (queued, lane busy)...
+  std::vector<std::unique_ptr<wasp::ByteChannel>> held;
+  std::vector<std::future<vbase::Result<vnet::ServeStats>>> accepted;
+  for (int i = 0; i < 2; ++i) {
+    held.push_back(std::make_unique<wasp::ByteChannel>());
+    held.back()->host().WriteString(kRequest);
+    accepted.push_back(server.SubmitConnection(*held.back(), vnet::ServeMode::kNative, "/hot"));
+  }
+  // ...so the third is shed with 429: the route is over quota, the server
+  // is not full (queue depth 2 of 8).
+  wasp::ByteChannel quota_shed;
+  quota_shed.host().WriteString(kRequest);
+  auto quota_future =
+      server.SubmitConnection(quota_shed, vnet::ServeMode::kNative, "/hot");
+  ASSERT_EQ(quota_future.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  auto quota_stats = quota_future.get();
+  ASSERT_TRUE(quota_stats.ok());
+  EXPECT_EQ(quota_stats->status, 429);
+  EXPECT_NE(DrainToString(quota_shed).find("HTTP/1.0 429"), std::string::npos);
+
+  // Other routes are untouched by /hot's quota: fill the global queue...
+  for (int i = 0; i < 6; ++i) {
+    held.push_back(std::make_unique<wasp::ByteChannel>());
+    held.back()->host().WriteString(kRequest);
+    accepted.push_back(server.SubmitConnection(*held.back(), vnet::ServeMode::kNative,
+                                               "/cold" + std::to_string(i)));
+  }
+  ASSERT_EQ(server.queue_depth(), 8u);
+  // ...and the next connection is shed with 503: global overload.
+  wasp::ByteChannel overload_shed;
+  overload_shed.host().WriteString(kRequest);
+  auto overload_future =
+      server.SubmitConnection(overload_shed, vnet::ServeMode::kNative, "/cold-extra");
+  ASSERT_EQ(overload_future.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  auto overload_stats = overload_future.get();
+  ASSERT_TRUE(overload_stats.ok());
+  EXPECT_EQ(overload_stats->status, 503);
+  EXPECT_NE(DrainToString(overload_shed).find("HTTP/1.0 503"), std::string::npos);
+
+  // Unblock the lane; every accepted connection completes with a 200.
+  plug.host().WriteString(kRequest);
+  ASSERT_TRUE(plug_future.get().ok());
+  for (auto& future : accepted) {
+    auto stats = future.get();
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->status, 200);
+  }
+
+  const vnet::ServerCounters ctr = server.counters(vnet::ServeMode::kNative);
+  EXPECT_EQ(ctr.accepted, 9u);  // plug + 2 hot + 6 cold
+  EXPECT_EQ(ctr.quota_rejected, 1u);
+  EXPECT_EQ(ctr.rejected, 1u);
+  EXPECT_EQ(ctr.status_2xx, 9u);
+  const wasp::ExecutorStats xstats = server.executor_stats();
+  EXPECT_EQ(xstats.quota_rejected, 1u);
+  EXPECT_EQ(xstats.rejected, 1u);
+  EXPECT_EQ(xstats.submitted, 9u);
+  EXPECT_EQ(xstats.dequeued_batch, 2u);  // the /hot route is batch-classed
 }
 
 TEST(ConcurrentServer, DestructionDrainsAcceptedConnections) {

@@ -9,6 +9,8 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -482,6 +484,330 @@ TEST(Concurrency, ExecutorRejectionCountersMatchObservedRejections) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   EXPECT_EQ(executor.stats().completed, observed_accepts + 1);
+}
+
+TEST(Concurrency, ExecutorQuotaRejectIsClassifiedSeparatelyFromQueueFull) {
+  wasp::Runtime runtime;
+  wasp::ExecutorOptions options;
+  options.workers = 1;
+  options.max_queue_depth = 3;
+  options.block_when_full = false;
+  options.key_quota = 2;
+  wasp::Executor executor(&runtime, options);
+  std::promise<void> gate;
+  auto gated = executor.SubmitTask(GateTask(gate.get_future().share()));
+  AwaitWorkerParked(executor);
+
+  auto noop = [] { return wasp::RunOutcome{}; };
+  std::vector<std::future<wasp::RunOutcome>> accepted;
+  // Two jobs under the hot key fill its quota (queued + in flight).
+  for (int i = 0; i < 2; ++i) {
+    std::future<wasp::RunOutcome> future;
+    ASSERT_TRUE(executor.TrySubmitTask(noop, &future, "hot"));
+    accepted.push_back(std::move(future));
+  }
+  EXPECT_EQ(executor.KeyLoad("hot"), 2u);
+
+  // Third hot job: quota reject — classified as such, distinct from full.
+  std::future<wasp::RunOutcome> rejected;
+  wasp::Admission admission = wasp::Admission::kAccepted;
+  EXPECT_FALSE(executor.TrySubmitTask(noop, &rejected, "hot",
+                                      wasp::KeyClass::kLatency, &admission));
+  EXPECT_EQ(admission, wasp::Admission::kQuotaExceeded);
+  {
+    const wasp::ExecutorStats stats = executor.stats();
+    EXPECT_EQ(stats.quota_rejected, 1u);
+    EXPECT_EQ(stats.rejected, 0u);
+  }
+
+  // A different key is untouched by the hot key's quota...
+  std::future<wasp::RunOutcome> future;
+  ASSERT_TRUE(executor.TrySubmitTask(noop, &future, "cold"));
+  accepted.push_back(std::move(future));
+  // ...until the *global* bound trips, which is classified as queue-full.
+  EXPECT_FALSE(executor.TrySubmitTask(noop, &rejected, "cold2",
+                                      wasp::KeyClass::kLatency, &admission));
+  EXPECT_EQ(admission, wasp::Admission::kQueueFull);
+  {
+    const wasp::ExecutorStats stats = executor.stats();
+    EXPECT_EQ(stats.quota_rejected, 1u);
+    EXPECT_EQ(stats.rejected, 1u);
+  }
+
+  gate.set_value();
+  gated.get();
+  for (auto& f : accepted) {
+    f.get();
+  }
+  EXPECT_EQ(executor.KeyLoad("hot"), 0u);  // entries erased at zero load
+}
+
+TEST(Concurrency, ExecutorWeightedDequeuePrefersLatencyWithoutStarvingBatch) {
+  wasp::Runtime runtime;
+  wasp::ExecutorOptions options;
+  options.workers = 1;
+  options.batch_weight = 4;
+  wasp::Executor executor(&runtime, options);
+  std::promise<void> gate;
+  auto gated = executor.SubmitTask(GateTask(gate.get_future().share()));
+  AwaitWorkerParked(executor);
+
+  std::mutex mu;
+  std::vector<std::string> order;
+  auto record = [&mu, &order](std::string tag) -> wasp::Executor::Task {
+    return [&mu, &order, tag] {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(tag);
+      return wasp::RunOutcome{};
+    };
+  };
+  std::vector<std::future<wasp::RunOutcome>> futures;
+  // Interleave submissions so FIFO would alternate; the weighted dequeue
+  // must instead run 3 latency jobs per batch job while both classes wait.
+  for (int i = 0; i < 4; ++i) {
+    std::future<wasp::RunOutcome> f;
+    ASSERT_TRUE(executor.TrySubmitTask(record("B" + std::to_string(i)), &f, {},
+                                       wasp::KeyClass::kBatch));
+    futures.push_back(std::move(f));
+  }
+  for (int i = 0; i < 8; ++i) {
+    std::future<wasp::RunOutcome> f;
+    ASSERT_TRUE(executor.TrySubmitTask(record("L" + std::to_string(i)), &f, {},
+                                       wasp::KeyClass::kLatency));
+    futures.push_back(std::move(f));
+  }
+  gate.set_value();
+  gated.get();
+  for (auto& f : futures) {
+    f.get();
+  }
+  const std::vector<std::string> expected = {"L0", "L1", "L2", "B0", "L3", "L4",
+                                             "L5", "B1", "L6", "L7", "B2", "B3"};
+  EXPECT_EQ(order, expected);
+  const wasp::ExecutorStats stats = executor.stats();
+  EXPECT_EQ(stats.dequeued_latency, 9u);  // 8 + the latency-class gate task
+  EXPECT_EQ(stats.dequeued_batch, 4u);
+}
+
+TEST(Concurrency, ExecutorFifoAcrossClassesWhenWeightingDisabled) {
+  wasp::Runtime runtime;
+  wasp::ExecutorOptions options;
+  options.workers = 1;
+  options.batch_weight = 0;  // ungoverned: strict submission order
+  wasp::Executor executor(&runtime, options);
+  std::promise<void> gate;
+  auto gated = executor.SubmitTask(GateTask(gate.get_future().share()));
+  AwaitWorkerParked(executor);
+
+  std::mutex mu;
+  std::vector<std::string> order;
+  std::vector<std::future<wasp::RunOutcome>> futures;
+  std::vector<std::string> expected;
+  for (int i = 0; i < 8; ++i) {
+    const std::string tag = (i % 2 == 0 ? "B" : "L") + std::to_string(i);
+    expected.push_back(tag);
+    std::future<wasp::RunOutcome> f;
+    ASSERT_TRUE(executor.TrySubmitTask(
+        [&mu, &order, tag] {
+          std::lock_guard<std::mutex> lock(mu);
+          order.push_back(tag);
+          return wasp::RunOutcome{};
+        },
+        &f, {}, i % 2 == 0 ? wasp::KeyClass::kBatch : wasp::KeyClass::kLatency));
+    futures.push_back(std::move(f));
+  }
+  gate.set_value();
+  gated.get();
+  for (auto& f : futures) {
+    f.get();
+  }
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Concurrency, AdmissionAccountingInvariantHoldsAtEveryObservationPoint) {
+  // The differential accounting check: submitted == completed + queued +
+  // in_flight must hold at *every* stats() snapshot (the gauges are read
+  // under the same lock as the counters), and every TrySubmit attempt must
+  // be accounted exactly once as accepted, quota-rejected, or rejected.
+  wasp::Runtime runtime;
+  wasp::ExecutorOptions options;
+  options.workers = 2;
+  options.max_queue_depth = 4;
+  options.block_when_full = false;
+  options.key_quota = 3;
+  wasp::Executor executor(&runtime, options);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> attempts{0};
+  std::atomic<uint64_t> accepted{0};
+  constexpr int kSubmitters = 4;
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&executor, &stop, &attempts, &accepted, t] {
+      const std::string key = t % 2 == 0 ? "hot" : "cold";
+      const wasp::KeyClass klass =
+          t % 2 == 0 ? wasp::KeyClass::kBatch : wasp::KeyClass::kLatency;
+      std::vector<std::future<wasp::RunOutcome>> futures;
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::future<wasp::RunOutcome> future;
+        attempts.fetch_add(1, std::memory_order_relaxed);
+        if (executor.TrySubmitTask(
+                [] {
+                  std::this_thread::sleep_for(std::chrono::microseconds(20));
+                  return wasp::RunOutcome{};
+                },
+                &future, key, klass)) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+          futures.push_back(std::move(future));
+        }
+      }
+      for (auto& f : futures) {
+        f.get();
+      }
+    });
+  }
+
+  for (int i = 0; i < 400; ++i) {
+    const wasp::ExecutorStats s = executor.stats();
+    ASSERT_EQ(s.submitted, s.completed + s.queued + s.in_flight)
+        << "submitted=" << s.submitted << " completed=" << s.completed
+        << " queued=" << s.queued << " in_flight=" << s.in_flight;
+    ASSERT_LE(s.queued, options.max_queue_depth);
+  }
+  stop.store(true);
+  for (std::thread& thread : submitters) {
+    thread.join();
+  }
+
+  // Drain, then the books must close exactly.
+  for (int i = 0; i < 5000 && executor.stats().completed < accepted.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const wasp::ExecutorStats s = executor.stats();
+  EXPECT_EQ(s.submitted, accepted.load());
+  EXPECT_EQ(s.completed, accepted.load());
+  EXPECT_EQ(s.queued, 0u);
+  EXPECT_EQ(s.in_flight, 0u);
+  EXPECT_EQ(s.submitted + s.rejected + s.quota_rejected, attempts.load());
+  EXPECT_EQ(executor.KeyLoad("hot"), 0u);
+  EXPECT_EQ(executor.KeyLoad("cold"), 0u);
+}
+
+TEST(Concurrency, KeyQuotaIsAHardCapEvenForBlockingWaiters) {
+  // block_when_full waiters pass the entry quota check, park for global
+  // space, and must be re-checked at wake: the hot key's load (queued +
+  // in flight) can never exceed the quota at any observation point.
+  wasp::Runtime runtime;
+  wasp::ExecutorOptions options;
+  options.workers = 2;
+  options.max_queue_depth = 2;
+  options.block_when_full = true;
+  options.key_quota = 3;
+  wasp::Executor executor(&runtime, options);
+
+  std::atomic<bool> stop{false};
+  constexpr int kSubmitters = 4;
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> quota_rejected{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&] {
+      std::vector<std::future<wasp::RunOutcome>> futures;
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::future<wasp::RunOutcome> future;
+        wasp::Admission admission = wasp::Admission::kAccepted;
+        if (executor.TrySubmitTask(
+                [] {
+                  std::this_thread::sleep_for(std::chrono::microseconds(30));
+                  return wasp::RunOutcome{};
+                },
+                &future, "hot", wasp::KeyClass::kLatency, &admission)) {
+          accepted.fetch_add(1);
+          futures.push_back(std::move(future));
+        } else if (admission == wasp::Admission::kQuotaExceeded) {
+          quota_rejected.fetch_add(1);
+        }
+      }
+      for (auto& f : futures) {
+        f.get();
+      }
+    });
+  }
+  // Sample the invariant while waiting for the submitters to make real
+  // progress (acceptances AND quota trips), so the check races live load.
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_LE(executor.KeyLoad("hot"), options.key_quota) << "sample " << i;
+    if (i >= 200 && accepted.load() > 0 && quota_rejected.load() > 0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  stop.store(true);
+  for (std::thread& thread : submitters) {
+    thread.join();
+  }
+  EXPECT_GT(accepted.load(), 0u);
+  // 4 submitters against a quota of 3 must have tripped it.
+  EXPECT_GT(quota_rejected.load(), 0u);
+  const wasp::ExecutorStats stats = executor.stats();
+  EXPECT_EQ(stats.quota_rejected, quota_rejected.load());
+}
+
+TEST(Concurrency, TrySubmitThenTeardownResolvesEveryAcceptedFuture) {
+  // Concurrent TrySubmit bursts race each other for quota and queue slots;
+  // the executor is then destroyed with the queue still loaded (a slow task
+  // pins the workers).  Every accepted future must be resolved by the time
+  // the destructor returns, and the books must close exactly.
+  wasp::Runtime runtime;
+  std::vector<std::future<wasp::RunOutcome>> futures;
+  std::mutex futures_mu;
+  uint64_t accepted = 0;
+  uint64_t attempts = 0;
+  constexpr int kSubmitters = 4;
+  constexpr int kPerSubmitter = 500;
+  {
+    wasp::Executor executor(&runtime, wasp::ExecutorOptions{2, 8, false, 4});
+    std::vector<std::thread> submitters;
+    submitters.reserve(kSubmitters);
+    std::atomic<uint64_t> accepted_count{0};
+    for (int t = 0; t < kSubmitters; ++t) {
+      submitters.emplace_back([&executor, &futures, &futures_mu, &accepted_count, t] {
+        const std::string key = "k" + std::to_string(t % 2);
+        for (int i = 0; i < kPerSubmitter; ++i) {
+          std::future<wasp::RunOutcome> future;
+          if (executor.TrySubmitTask(
+                  [] {
+                    std::this_thread::sleep_for(std::chrono::microseconds(10));
+                    return wasp::RunOutcome{};
+                  },
+                  &future, key)) {
+            accepted_count.fetch_add(1);
+            std::lock_guard<std::mutex> lock(futures_mu);
+            futures.push_back(std::move(future));
+          }
+        }
+      });
+    }
+    for (std::thread& thread : submitters) {
+      thread.join();
+    }
+    accepted = accepted_count.load();
+    attempts = static_cast<uint64_t>(kSubmitters) * kPerSubmitter;
+    const wasp::ExecutorStats mid = executor.stats();
+    EXPECT_EQ(mid.submitted, accepted);
+    EXPECT_EQ(mid.submitted + mid.rejected + mid.quota_rejected, attempts);
+    EXPECT_EQ(mid.submitted, mid.completed + mid.queued + mid.in_flight);
+    // Executor destroyed here, typically with jobs still queued/in flight.
+  }
+  EXPECT_GT(accepted, 0u);
+  EXPECT_LE(accepted, attempts);
+  // Drain guarantee: every accepted submission resolved, ready immediately.
+  for (auto& future : futures) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    future.get();
+  }
 }
 
 TEST(Concurrency, InvokeAsyncResolvesFutures) {
