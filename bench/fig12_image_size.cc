@@ -14,10 +14,19 @@
 // repairs only the pages the run dirtied: warm cost is bounded by the
 // working set, independent of image size.
 //
-//   ./fig12_image_size             # full cold + warm sweeps
-//   ./fig12_image_size --quick     # CI gate: affine warm restore must not
+// Shell-count sweep (the COW-extent claim): park 1..64 snapshot-affine
+// shells of one 16 MB-image generation and read the pool's resident-byte
+// gauge.  Full-copy parking charges every shell its whole memory (resident
+// grows linearly with the fleet); COW-backed shells map the generation's
+// shared extent buffer and are charged only the pages they privatized, so
+// resident stays O(image + working sets) — near-flat in the shell count.
+//
+//   ./fig12_image_size             # full cold + warm + shell-count sweeps
+//   ./fig12_image_size --quick     # CI gates: affine warm restore must not
 //                                  # scale with image size (16 MB vs 64 KB
-//                                  # modeled warm cycles under 1.5x)
+//                                  # modeled warm cycles under 1.5x), and
+//                                  # 64-shell COW resident bytes must stay
+//                                  # under 2x the 1-shell baseline
 //   ./fig12_image_size --json out.json
 #include <cstring>
 #include <string>
@@ -78,7 +87,67 @@ void MeasureWarm(const visa::Image& image, uint64_t mem_size, bool affinity, int
   *mean_cycles = vbase::Summarize(cycles).mean;
 }
 
-void WriteJson(const std::string& path, const std::vector<WarmPoint>& warm) {
+// One shell-count sweep row: the pool's resident gauge with `shells` parked
+// under one generation, COW-mapped vs full-copy parked.
+struct ShellPoint {
+  int shells = 0;
+  uint64_t cow_resident = 0;  // gauge: shared chain once + private pages
+  uint64_t cow_shared = 0;
+  uint64_t cow_private = 0;
+  uint64_t full_resident = 0;  // gauge: every shell charged its whole memory
+};
+
+// Pages each parked shell dirties after its restore — the per-shell warm
+// working set the COW charge is proportional to.
+constexpr int kParkedWorkingSetPages = 4;
+
+// Parks `count` shells of `snap`'s generation and reads the residency gauge:
+// COW-mapped when `cow`, full-copied (legacy charge) otherwise.  Shells are
+// all acquired before any is parked so the plain-acquire path never reclaims
+// an already-parked one.
+void MeasureParkedResident(const wasp::SnapshotRef& snap, uint64_t mem_size, int count,
+                           bool cow, ShellPoint* point) {
+  wasp::Pool pool(wasp::CleanMode::kSync);
+  vkvm::VmConfig cfg;
+  cfg.mem_size = mem_size;
+  std::vector<std::unique_ptr<vkvm::Vm>> shells;
+  shells.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    shells.push_back(pool.Acquire(cfg));
+  }
+  for (std::unique_ptr<vkvm::Vm>& vm : shells) {
+    if (cow) {
+      wasp::MapCowInto(*snap, &vm->memory());
+    } else {
+      wasp::RestoreFullInto(*snap, &vm->memory());
+    }
+    vm->memory().BeginEpoch();
+    uint8_t b = 0x5c;
+    for (int p = 0; p < kParkedWorkingSetPages; ++p) {
+      const uint64_t gpa = mem_size - ((p + 1) << vhw::kPageBits);
+      VB_CHECK(vm->memory().Write(gpa, &b, 1).ok(), "working-set write failed");
+    }
+    pool.ReleaseAffine(std::move(vm), snap->generation,
+                       cow ? snap->chain_byte_size() : 0);
+  }
+  const wasp::AffineAccounting acct = pool.affine_accounting();
+  uint64_t sum = 0;
+  for (const auto& gen : acct.generations) {
+    sum += gen.shared_bytes + gen.private_bytes;
+  }
+  VB_CHECK(sum == acct.resident_bytes, "residency gauge conservation violated");
+  if (cow) {
+    point->cow_resident = acct.resident_bytes;
+    const wasp::PoolStats stats = pool.stats();
+    point->cow_shared = stats.affine_shared_bytes;
+    point->cow_private = stats.affine_private_bytes;
+  } else {
+    point->full_resident = acct.resident_bytes;
+  }
+}
+
+void WriteJson(const std::string& path, const std::vector<WarmPoint>& warm,
+               const std::vector<ShellPoint>& fleet) {
   FILE* f = std::fopen(path.c_str(), "w");
   VB_CHECK(f != nullptr, "cannot open " << path);
   std::fprintf(f, "{\n  \"warm_restore_vs_image_size\": [\n");
@@ -92,6 +161,19 @@ void WriteJson(const std::string& path, const std::vector<WarmPoint>& warm) {
                  p.affine_cycles, static_cast<unsigned long long>(p.full_restored_bytes),
                  static_cast<unsigned long long>(p.affine_restored_bytes),
                  i + 1 < warm.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"warm_resident_vs_shell_count\": [\n");
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    const ShellPoint& p = fleet[i];
+    std::fprintf(f,
+                 "    {\"shells\": %d, \"cow_resident_bytes\": %llu, "
+                 "\"cow_shared_bytes\": %llu, \"cow_private_bytes\": %llu, "
+                 "\"full_resident_bytes\": %llu}%s\n",
+                 p.shells, static_cast<unsigned long long>(p.cow_resident),
+                 static_cast<unsigned long long>(p.cow_shared),
+                 static_cast<unsigned long long>(p.cow_private),
+                 static_cast<unsigned long long>(p.full_resident),
+                 i + 1 < fleet.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -191,7 +273,68 @@ int main(int argc, char** argv) {
               "snapshot-affine shell.\n",
               kFibArg);
 
-  // CI gate: affine warm restore cost must not scale with image size.
+  // --- Shell-count sweep: resident bytes vs parked fleet size ---------------
+  // One 16 MB-image generation, 1..64 shells parked warm.  COW parking keeps
+  // the image resident once (shared) plus each shell's working set; full-copy
+  // parking charges every shell its whole memory.
+  constexpr uint64_t kFleetImageSize = 16ULL << 20;
+  visa::Image fleet_image = *fib_base;
+  fleet_image.PadTo(kFleetImageSize);
+  const uint64_t fleet_mem_size = kFleetImageSize + (1ULL << 20);
+  wasp::SnapshotRef fleet_snap;
+  {
+    wasp::Runtime runtime;
+    wasp::VirtineSpec spec;
+    spec.image = &fleet_image;
+    spec.key = "fig12-fleet";
+    spec.use_snapshot = true;
+    spec.word_bytes = 8;
+    spec.mem_size = fleet_mem_size;
+    wasp::ArgPacker packer(spec.word_bytes);
+    packer.AddWord(static_cast<uint64_t>(kFibArg));
+    spec.args_page = packer.Finish();
+    auto outcome = runtime.Invoke(spec);
+    VB_CHECK(outcome.status.ok(), outcome.status.ToString());
+    VB_CHECK(outcome.stats.took_snapshot, "fleet cold run failed to snapshot");
+    fleet_snap = runtime.snapshots().Find(spec.key);
+    VB_CHECK(fleet_snap != nullptr, "fleet snapshot missing from the store");
+  }
+
+  std::vector<int> shell_counts;
+  if (quick) {
+    shell_counts = {1, 64};
+  } else {
+    shell_counts = {1, 2, 4, 8, 16, 32, 64};
+  }
+  std::vector<ShellPoint> fleet;
+  for (const int count : shell_counts) {
+    ShellPoint point;
+    point.shells = count;
+    MeasureParkedResident(fleet_snap, fleet_mem_size, count, /*cow=*/true, &point);
+    MeasureParkedResident(fleet_snap, fleet_mem_size, count, /*cow=*/false, &point);
+    fleet.push_back(point);
+  }
+
+  vbase::Table fleet_table({"parked shells", "cow resident", "cow shared", "cow private",
+                            "full-copy resident", "full/cow"});
+  for (const ShellPoint& point : fleet) {
+    fleet_table.AddRow(
+        {std::to_string(point.shells), vbase::HumanBytes(point.cow_resident),
+         vbase::HumanBytes(point.cow_shared), vbase::HumanBytes(point.cow_private),
+         vbase::HumanBytes(point.full_resident),
+         vbase::Fmt(static_cast<double>(point.full_resident) /
+                        static_cast<double>(point.cow_resident),
+                    2)});
+  }
+  std::printf("\n");
+  fleet_table.Print();
+  std::printf("\nEach parked shell dirtied %d pages after restore (its warm working set); "
+              "the COW\nrows charge the 16 MB extent chain once per generation plus "
+              "private pages per shell,\nthe full-copy rows charge every shell its whole "
+              "memory.\n",
+              kParkedWorkingSetPages);
+
+  // CI gate 1: affine warm restore cost must not scale with image size.
   const WarmPoint& smallest = warm.front();
   const WarmPoint& largest = warm.back();
   const double ratio = largest.affine_cycles / smallest.affine_cycles;
@@ -201,9 +344,19 @@ int main(int argc, char** argv) {
               vbase::HumanBytes(smallest.image_size).c_str(), ratio,
               ratio < 1.5 ? "PASS" : "FAIL");
 
+  // CI gate 2: COW resident bytes must stay near-flat in the shell count.
+  const ShellPoint& one = fleet.front();
+  const ShellPoint& many = fleet.back();
+  const double fleet_ratio = static_cast<double>(many.cow_resident) /
+                             static_cast<double>(one.cow_resident);
+  std::printf("Claim check: COW resident bytes at %d vs %d parked shells -> %.2fx "
+              "(floor: < 2x) (%s)\n",
+              many.shells, one.shells, fleet_ratio,
+              fleet_ratio < 2.0 ? "PASS" : "FAIL");
+
   if (!json_path.empty()) {
-    WriteJson(json_path, warm);
+    WriteJson(json_path, warm, fleet);
     std::printf("wrote %s\n", json_path.c_str());
   }
-  return ratio < 1.5 ? 0 : 1;
+  return (ratio < 1.5 && fleet_ratio < 2.0) ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 #   ./ci.sh             # normal mode (warnings allowed) + fig9/fig12/fig13/fig16 smokes
 #   STRICT=1 ./ci.sh    # -Werror: any warning fails the build
 #   TSAN=1 ./ci.sh      # ThreadSanitizer build; runs the threaded wasp/net tests
+#   ASAN=1 ./ci.sh      # Address+UBSanitizer build; runs the snapshot/memory tests
 #   BUILD_DIR=out ./ci.sh
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -40,6 +41,26 @@ if [[ "${TSAN:-0}" == "1" ]]; then
   exit 0
 fi
 
+if [[ "${ASAN:-0}" == "1" ]]; then
+  # Address+UBSan gate for the memory-heavy paths: COW extent buffers and
+  # chains, write-privatization bitmaps, snapshot capture/restore, pool
+  # residency accounting.  Separate build dir: sanitizer objects don't mix.
+  BUILD_DIR="${BUILD_DIR:-build-asan}"
+  ASAN_TESTS=(test_snapshot_engine test_wasp test_wasp_concurrency test_governance
+              test_cpu test_isa)
+  cmake -B "$BUILD_DIR" -S . -DVIRTINES_WERROR="$WERROR" \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  cmake --build "$BUILD_DIR" -j"$(nproc)" --target "${ASAN_TESTS[@]}"
+  total=0
+  for t in "${ASAN_TESTS[@]}"; do
+    (cd "$BUILD_DIR" && "./$t")
+    total=$((total + $(count_gtests "$BUILD_DIR/$t")))
+  done
+  echo "[ci] asan lane: ${#ASAN_TESTS[@]} binaries, ${total} gtest cases"
+  exit 0
+fi
+
 BUILD_DIR="${BUILD_DIR:-build}"
 cmake -B "$BUILD_DIR" -S . -DVIRTINES_WERROR="$WERROR"
 cmake --build "$BUILD_DIR" -j"$(nproc)"
@@ -47,9 +68,11 @@ cmake --build "$BUILD_DIR" -j"$(nproc)"
 # Multicore throughput smoke: fails (non-zero) if pooled-async scaling ever
 # drops below the 4x-at-8-threads floor, so the concurrent path cannot rot.
 (cd "$BUILD_DIR" && ./fig9_multicore_scaling --quick)
-# Delta-restore smoke: fails (non-zero) if affine warm snapshot restore cost
-# ever scales with image size again (16 MB vs 64 KB image at a fixed working
-# set must stay under 1.5x).
+# Delta-restore + COW-density smoke: fails (non-zero) if affine warm snapshot
+# restore cost ever scales with image size again (16 MB vs 64 KB image at a
+# fixed working set must stay under 1.5x), or if 64 parked COW shells of one
+# 16 MB generation ever cost 2x the 1-shell resident baseline (shared extents
+# must keep fleet residency O(image + working sets)).
 (cd "$BUILD_DIR" && ./fig12_image_size --quick)
 # Concurrent-serving smoke: a small 2-lane run of the executor-backed HTTP
 # server in all three modes; fails (non-zero) on any wrong response or
@@ -57,8 +80,9 @@ cmake --build "$BUILD_DIR" -j"$(nproc)"
 (cd "$BUILD_DIR" && ./fig13_http_server --quick)
 # Governance smoke: the fig16 gates on a shortened trace — per-key quota
 # bounds the interactive key's p99 queue wait within 2x of isolation at
-# <10% aggregate RPS cost, and affine eviction holds the resident budget
-# through a retire/re-capture loop.
+# <10% aggregate RPS cost, and COW extents keep 64 keys warm (>10x the
+# full-copy capacity) under the same budget with zero evictions through a
+# recapture/retire loop.
 (cd "$BUILD_DIR" && ./fig16_multitenant --quick)
 # Per-lane coverage summary: the ctest suite count plus per-binary gtest
 # case totals, so a lane silently losing tests shows up in the log.

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "src/base/status.h"
@@ -26,6 +27,61 @@ inline constexpr uint64_t kPageBits = 12;
 inline constexpr uint64_t kPageSize = 1ULL << kPageBits;  // 4 KB
 inline constexpr uint64_t kRegionBits = 21;
 inline constexpr uint64_t kRegionSize = 1ULL << kRegionBits;  // 2 MB
+
+// An immutable, refcounted page store: the backing a copy-on-write guest
+// memory maps instead of copying.  Pages are held as run-length extents
+// (first page, page count, byte offset into one contiguous buffer), exactly
+// the layout snapshots capture in.  A buffer may be a *delta child*: `parent`
+// points at the layer underneath, and a page lookup walks child-to-root so a
+// child's page overrides its ancestor's — that chain is how a re-captured
+// snapshot shares its parent's image and pays only for the drift.
+//
+// Buffers are shared via shared_ptr (ExtentBufferRef) and never mutated
+// after construction: shells, snapshots, and chains all hold references to
+// the same bytes, so one generation's image is resident once no matter how
+// many shells map it.  The refcount *is* the lifetime rule — a parent stays
+// alive while any child chain references it, even after its own snapshot
+// generation retires.
+class ExtentBuffer {
+ public:
+  struct Extent {
+    uint64_t first_page = 0;
+    uint64_t page_count = 0;
+    uint64_t byte_offset = 0;
+  };
+
+  std::vector<Extent> extents;  // sorted by first_page, non-overlapping
+  std::vector<uint8_t> bytes;   // concatenated extent payloads
+  std::shared_ptr<const ExtentBuffer> parent;  // nullptr for a root buffer
+
+  // Pointer to `page` in *this* layer only, or nullptr when not captured
+  // here.
+  const uint8_t* FindPageLocal(uint64_t page) const;
+  // Chain lookup: this layer first, then ancestors (a child's page shadows
+  // its parent's).  Returns nullptr when no layer holds the page (it is
+  // all-zero in the chained view).
+  const uint8_t* FindPage(uint64_t page) const;
+
+  uint64_t byte_size() const { return bytes.size(); }
+  uint64_t page_count() const { return bytes.size() >> kPageBits; }
+  // Totals across the whole chain.  chain_byte_size is what the chain keeps
+  // resident (shadowed parent pages still occupy their parent's buffer);
+  // CoveredBytes is the deduplicated view size — their ratio is the chain's
+  // delta bloat, the flattening trigger.
+  uint64_t chain_byte_size() const;
+  uint64_t chain_extent_count() const;
+  int chain_depth() const;  // 1 for a parentless buffer
+  // One past the highest covered page across the chain.
+  uint64_t end_page() const;
+  uint64_t CoveredPages() const;
+  uint64_t CoveredBytes() const { return CoveredPages() << kPageBits; }
+};
+
+using ExtentBufferRef = std::shared_ptr<const ExtentBuffer>;
+
+// Collapses a chain into an equivalent depth-1 buffer: same page view, no
+// parent, no shadowed bytes.
+ExtentBufferRef FlattenChain(const ExtentBufferRef& chain);
 
 class GuestMemory {
  public:
@@ -76,13 +132,26 @@ class GuestMemory {
       dirty_[p >> 6] |= 1ULL << (p & 63);
       epoch_[p >> 6] |= 1ULL << (p & 63);
     }
+    if (cow_base_ != nullptr) {
+      // COW write-privatization: the first write to a page breaks its share
+      // of the mapped base.  Privatized pages are what a parked shell is
+      // charged for — everything else stays an uncounted view of the base.
+      for (uint64_t p = first; p <= last; ++p) {
+        const uint64_t mask = 1ULL << (p & 63);
+        if ((cow_private_[p >> 6] & mask) == 0) {
+          cow_private_[p >> 6] |= mask;
+          ++cow_private_count_;
+        }
+      }
+    }
   }
   bool PageDirty(uint64_t page) const { return (dirty_[page >> 6] >> (page & 63)) & 1; }
   uint64_t NumPages() const { return bytes_.size() >> kPageBits; }
   uint64_t CountDirtyPages() const;
   // Zeroes every dirty page and clears the dirty bitmap (pool Clean()) with
   // a word-granular bitmap scan: 64 clean pages are skipped per iteration.
-  // Returns the number of bytes zeroed.
+  // Drops any mapped COW base (a cleaned shell shares nothing).  Returns the
+  // number of bytes zeroed.
   uint64_t ZeroDirtyPages();
   void ClearDirty();
 
@@ -114,6 +183,36 @@ class GuestMemory {
   // Drops all EPT mappings (what a freshly created VM context looks like).
   void ResetEpt();
 
+  // --- Copy-on-write backing ----------------------------------------------
+  // A COW-backed memory maps a shared, immutable ExtentBuffer chain
+  // read-only and privatizes pages on first write (MarkDirty above).  The
+  // mapping is a modeled construct, like every cost in this machine: the
+  // flat `bytes_` cache materializes the chained view eagerly (uncharged
+  // simulator-side copies), while the *accounting* — what a parked shell
+  // costs, what a restore must repair — follows the private-page bitmap.
+  //
+  // Maps `base` into clean (all-zero) memory: materializes every covered
+  // page, marks it dirty, and prefaults its EPT region — byte-identical to a
+  // full snapshot restore — then starts COW tracking with zero private
+  // pages.  The caller charges the modeled cost of the map.
+  void MapCowBase(ExtentBufferRef base);
+  // Starts COW tracking against `base` when memory already equals the
+  // chain's view byte-for-byte: at capture time (memory *is* what was just
+  // captured) and at re-capture (the new chain folds in this shell's own
+  // drift).  No copies; private pages reset to zero.
+  void AdoptCowBase(ExtentBufferRef base);
+  // Repairs the privatized pages back to the base view (copy covered pages
+  // from the chain, zero uncovered ones) so memory equals the base again.
+  // `pages` is the epoch-dirty set — identical to the private set whenever
+  // the epoch began at the last map/adopt/repair point.  Clears private
+  // bits; dirty/epoch handling matches a delta restore (caller re-begins the
+  // epoch).
+  void RepairPagesToBase(const std::vector<uint64_t>& pages);
+  bool HasCowBase() const { return cow_base_ != nullptr; }
+  const ExtentBufferRef& cow_base() const { return cow_base_; }
+  uint64_t CowPrivatePages() const { return cow_private_count_; }
+  uint64_t CowPrivateBytes() const { return cow_private_count_ << kPageBits; }
+
  private:
   static constexpr uint64_t kNoPage = ~0ULL;
 
@@ -121,9 +220,18 @@ class GuestMemory {
   std::vector<uint64_t> dirty_;  // 1 bit per 4 KB page, since creation/clean
   std::vector<uint64_t> epoch_;  // 1 bit per 4 KB page, since BeginEpoch
   std::vector<uint64_t> ept_;    // 1 bit per 2 MB region
+  // COW state: the mapped base chain (nullptr = plain memory) and the pages
+  // written since it was mapped/adopted (allocated lazily on first map).
+  // Invariant: a private page's bit is also set in dirty_ and epoch_ — the
+  // same MarkDirty sets all three — except across RepairPagesToBase/
+  // BeginEpoch boundaries, where private and epoch reset together.
+  ExtentBufferRef cow_base_;
+  std::vector<uint64_t> cow_private_;  // 1 bit per 4 KB page, since map
+  uint64_t cow_private_count_ = 0;
   // Page dirtied by the most recent StoreRaw; invariant: when != kNoPage its
-  // bit is set in *both* the dirty and epoch bitmaps, so the hot path may
-  // skip re-marking it.  Cleared whenever either bitmap is cleared.
+  // bit is set in *both* the dirty and epoch bitmaps (and the COW private
+  // bitmap when a base is mapped), so the hot path may skip re-marking it.
+  // Cleared whenever any of those bitmaps is cleared.
   uint64_t last_dirty_page_ = kNoPage;
 };
 

@@ -50,6 +50,10 @@ struct HostCostModel {
   // tinker measures 6.7 GB/s (Section 6.2), i.e. ~2.49 bytes per cycle at
   // 2.69 GHz.
   double memcpy_bytes_per_cycle = 2.49;
+  // Mapping one snapshot extent as a shared COW range: page-table update
+  // plus TLB shootdown-ish bookkeeping, charged per extent run rather than
+  // per byte — a warm COW restore costs O(extents), not O(image).
+  uint64_t cow_map_extent = 450;
 };
 
 // Returns true when a real /dev/kvm exists and is openable on this host.

@@ -85,16 +85,16 @@ std::unique_ptr<vkvm::Vm> Pool::PopAffine(Shard& shard, uint64_t generation,
   }
   auto& shells = it->second;
   for (size_t i = shells.size(); i-- > 0;) {
-    if (shells[i]->config().mem_size != mem_size) {
+    if (shells[i].vm->config().mem_size != mem_size) {
       continue;
     }
-    std::unique_ptr<vkvm::Vm> vm = std::move(shells[i]);
+    AffineShell shell = std::move(shells[i]);
     shells.erase(shells.begin() + static_cast<ptrdiff_t>(i));
     if (shells.empty()) {
       shard.affine.erase(it);
     }
-    NoteAffineRemoved(generation, mem_size);
-    return vm;
+    NoteAffineRemoved(generation, shell.private_bytes);
+    return std::move(shell.vm);
   }
   return nullptr;
 }
@@ -103,23 +103,24 @@ std::unique_ptr<vkvm::Vm> Pool::PopAnyAffine(Shard& shard, uint64_t mem_size) {
   for (auto it = shard.affine.begin(); it != shard.affine.end(); ++it) {
     auto& shells = it->second;
     for (size_t i = shells.size(); i-- > 0;) {
-      if (shells[i]->config().mem_size != mem_size) {
+      if (shells[i].vm->config().mem_size != mem_size) {
         continue;
       }
-      std::unique_ptr<vkvm::Vm> vm = std::move(shells[i]);
+      AffineShell shell = std::move(shells[i]);
       const uint64_t generation = it->first;
       shells.erase(shells.begin() + static_cast<ptrdiff_t>(i));
       if (shells.empty()) {
         shard.affine.erase(it);
       }
-      NoteAffineRemoved(generation, mem_size);
-      return vm;
+      NoteAffineRemoved(generation, shell.private_bytes);
+      return std::move(shell.vm);
     }
   }
   return nullptr;
 }
 
-bool Pool::TryNoteAffineParked(uint64_t generation, uint64_t bytes) {
+bool Pool::TryNoteAffineParked(uint64_t generation, uint64_t shared_bytes,
+                               uint64_t private_bytes) {
   {
     std::lock_guard<std::mutex> lock(gen_mu_);
     if (retired_generations_.count(generation) > 0) {
@@ -131,20 +132,45 @@ bool Pool::TryNoteAffineParked(uint64_t generation, uint64_t bytes) {
     // second bookkeeping call on the acquire path.
     info.last_use_tick = use_tick_.fetch_add(1, std::memory_order_relaxed) + 1;
     ++info.parked_shells;
+    info.private_bytes += private_bytes;
+    uint64_t charged = private_bytes;
+    if (info.shared_bytes == 0 && shared_bytes != 0) {
+      // First shell of the generation (or first to declare a shared chain):
+      // charge the extent chain once.  Every park of one generation passes
+      // the same chain size (it is a property of the snapshot).
+      info.shared_bytes = shared_bytes;
+      charged += shared_bytes;
+      stats_.affine_shared_bytes.fetch_add(shared_bytes, std::memory_order_relaxed);
+    }
+    // Gauge updates stay inside gen_mu_: affine_accounting() reads the
+    // per-generation rows and the gauge under the same lock, so the
+    // conservation invariant (sum == gauge) holds at every observation.
+    stats_.affine_private_bytes.fetch_add(private_bytes, std::memory_order_relaxed);
+    stats_.affine_resident_bytes.fetch_add(charged, std::memory_order_relaxed);
   }
   affine_count_.fetch_add(1, std::memory_order_relaxed);
-  stats_.affine_resident_bytes.fetch_add(bytes, std::memory_order_relaxed);
   return true;
 }
 
-void Pool::NoteAffineRemoved(uint64_t generation, uint64_t bytes) {
+void Pool::NoteAffineRemoved(uint64_t generation, uint64_t private_bytes) {
   affine_count_.fetch_sub(1, std::memory_order_relaxed);
-  stats_.affine_resident_bytes.fetch_sub(bytes, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(gen_mu_);
+  uint64_t released = private_bytes;
   auto it = generations_.find(generation);
-  if (it != generations_.end() && --it->second.parked_shells <= 0) {
-    generations_.erase(it);
+  if (it != generations_.end()) {
+    it->second.private_bytes -= private_bytes;
+    if (--it->second.parked_shells <= 0) {
+      // Last shell out releases the generation's shared charge: the extent
+      // chain may live on (snapshot store, in-flight restores hold refs),
+      // but nothing is parked against it any more.
+      released += it->second.shared_bytes;
+      stats_.affine_shared_bytes.fetch_sub(it->second.shared_bytes,
+                                           std::memory_order_relaxed);
+      generations_.erase(it);
+    }
   }
+  stats_.affine_private_bytes.fetch_sub(private_bytes, std::memory_order_relaxed);
+  stats_.affine_resident_bytes.fetch_sub(released, std::memory_order_relaxed);
 }
 
 void Pool::Dispose(std::unique_ptr<vkvm::Vm> vm, size_t shard) {
@@ -207,12 +233,13 @@ void Pool::EnforceAffineBudget() {
       if (it == shard.affine.end() || it->second.empty()) {
         continue;
       }
-      vm = std::move(it->second.back());
+      AffineShell shell = std::move(it->second.back());
       it->second.pop_back();
       if (it->second.empty()) {
         shard.affine.erase(it);
       }
-      NoteAffineRemoved(victim, vm->config().mem_size);
+      NoteAffineRemoved(victim, shell.private_bytes);
+      vm = std::move(shell.vm);
       source = i;
     }
     if (vm == nullptr) {
@@ -245,9 +272,9 @@ void Pool::RetireGeneration(uint64_t generation) {
     if (it == shard.affine.end()) {
       continue;
     }
-    for (auto& vm : it->second) {
-      NoteAffineRemoved(generation, vm->config().mem_size);
-      victims.emplace_back(std::move(vm), i);
+    for (AffineShell& shell : it->second) {
+      NoteAffineRemoved(generation, shell.private_bytes);
+      victims.emplace_back(std::move(shell.vm), i);
     }
     shard.affine.erase(it);
   }
@@ -399,7 +426,8 @@ void Pool::Release(std::unique_ptr<vkvm::Vm> vm) {
   }
 }
 
-void Pool::ReleaseAffine(std::unique_ptr<vkvm::Vm> vm, uint64_t generation) {
+void Pool::ReleaseAffine(std::unique_ptr<vkvm::Vm> vm, uint64_t generation,
+                         uint64_t shared_bytes) {
   VB_CHECK(generation != 0, "ReleaseAffine requires a snapshot generation");
   stats_.releases.fetch_add(1, std::memory_order_relaxed);
   if (options_.mode == CleanMode::kNone) {
@@ -412,13 +440,19 @@ void Pool::ReleaseAffine(std::unique_ptr<vkvm::Vm> vm, uint64_t generation) {
   // vCPU is reset by RestoreArch on the next restore.
   vm->ResetAccounting();
   const uint64_t delta_pages = vm->memory().CountEpochDirtyPages();
-  const uint64_t bytes = vm->config().mem_size;
+  // Residency charge: a COW-backed shell pays for its privatized pages only
+  // (the shared chain is charged per generation, not per shell); a shell
+  // without a base holds a full private copy and pays its whole memory.
+  const uint64_t private_bytes = vm->memory().HasCowBase()
+                                     ? vm->memory().CowPrivateBytes()
+                                     : vm->config().mem_size;
   const size_t home = HomeShard();
   bool parked = false;
   {
     std::lock_guard<std::mutex> lock(shards_[home]->mu);
-    if (TryNoteAffineParked(generation, bytes)) {
-      shards_[home]->affine[generation].push_back(std::move(vm));
+    if (TryNoteAffineParked(generation, shared_bytes, private_bytes)) {
+      shards_[home]->affine[generation].push_back(
+          AffineShell{std::move(vm), private_bytes});
       parked = true;
     }
   }
@@ -436,6 +470,35 @@ void Pool::ReleaseAffine(std::unique_ptr<vkvm::Vm> vm, uint64_t generation) {
   // The park may have pushed parked residency over budget; evict LRU
   // generations (outside the shard lock) until it fits again.
   EnforceAffineBudget();
+}
+
+std::unique_ptr<vkvm::Vm> Pool::StealParkedAffine(uint64_t generation) {
+  if (generation == 0 || affine_count_.load(std::memory_order_relaxed) <= 0) {
+    return nullptr;
+  }
+  // Maintenance path (re-capture), not a hot acquire: plain blocking sweep
+  // over the shards is fine.
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.affine.find(generation);
+    if (it == shard.affine.end() || it->second.empty()) {
+      continue;
+    }
+    AffineShell shell = std::move(it->second.back());
+    it->second.pop_back();
+    if (it->second.empty()) {
+      shard.affine.erase(it);
+    }
+    NoteAffineRemoved(generation, shell.private_bytes);
+    // Count like an affine acquire so acquire/release conservation holds
+    // (the re-capture path releases the shell back when it is done).
+    stats_.acquires.fetch_add(1, std::memory_order_relaxed);
+    stats_.pool_hits.fetch_add(1, std::memory_order_relaxed);
+    stats_.affine_hits.fetch_add(1, std::memory_order_relaxed);
+    return std::move(shell.vm);
+  }
+  return nullptr;
 }
 
 std::unique_ptr<vkvm::Vm> Pool::PopDirty(size_t home, size_t* source_shard) {
@@ -527,6 +590,28 @@ PoolStats Pool::stats() const {
   out.affine_evictions = stats_.affine_evictions.load(std::memory_order_relaxed);
   out.affine_retired = stats_.affine_retired.load(std::memory_order_relaxed);
   out.affine_resident_bytes = stats_.affine_resident_bytes.load(std::memory_order_relaxed);
+  out.affine_shared_bytes = stats_.affine_shared_bytes.load(std::memory_order_relaxed);
+  out.affine_private_bytes = stats_.affine_private_bytes.load(std::memory_order_relaxed);
+  return out;
+}
+
+AffineAccounting Pool::affine_accounting() const {
+  AffineAccounting out;
+  // One lock, one snapshot: the gauge and the per-generation rows are read
+  // under the same gen_mu_ every charge/release mutates them under, so
+  // sum(shared + private) == resident_bytes at *every* observation — no
+  // transient can be caught mid-update.
+  std::lock_guard<std::mutex> lock(gen_mu_);
+  out.resident_bytes = stats_.affine_resident_bytes.load(std::memory_order_relaxed);
+  out.generations.reserve(generations_.size());
+  for (const auto& [generation, info] : generations_) {
+    AffineAccounting::Generation row;
+    row.generation = generation;
+    row.shared_bytes = info.shared_bytes;
+    row.private_bytes = info.private_bytes;
+    row.parked_shells = info.parked_shells;
+    out.generations.push_back(row);
+  }
   return out;
 }
 

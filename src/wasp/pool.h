@@ -22,19 +22,27 @@
 // generation) only ever sees an affine shell after it has been fully
 // cleaned (reclaimed).
 //
-// Governance: parked affine shells are memory a long-lived service pays for
-// — every parked shell keeps a full guest image resident.  Two policies
-// bound that residency.  (1) A configurable resident-byte budget
-// (PoolOptions::affine_budget_bytes): when a park pushes the total parked
-// bytes over budget, shells of the least-recently-used *generation* are
-// evicted into the cleaning path (the async cleaner crew when one exists,
-// inline otherwise) until the budget holds again.  (2) Eager retirement
-// (RetireGeneration): when a snapshot generation is retired — its key was
-// re-captured or dropped — every shell parked under it is reclaimed
+// Governance: parked affine shells are memory a long-lived service pays for.
+// Under COW backing, what a shell pays for is *private* bytes — the pages it
+// privatized on write — while the shared extent chain is charged **once per
+// live generation**, no matter how many shells map it: resident cost is
+// O(image + Σ working sets), not O(shells × image).  A shell parked without
+// a COW base (legacy full-copy parking) is charged its whole guest memory,
+// preserving the old accounting.  Two policies bound residency.  (1) A
+// configurable resident-byte budget (PoolOptions::affine_budget_bytes): when
+// a park pushes the gauge over budget, shells of the least-recently-used
+// *generation* are evicted into the cleaning path (the async cleaner crew
+// when one exists, inline otherwise) until the budget holds again; evicting
+// a generation's last shell releases its shared charge too.  (2) Eager
+// retirement (RetireGeneration): when a snapshot generation is retired — its
+// key was re-captured or dropped — every shell parked under it is reclaimed
 // immediately instead of lingering until a non-affine consumer happens to
 // sweep it up.  Both paths are counted in PoolStats (affine_evictions,
 // affine_retired, and the affine_resident_bytes gauge) so tests and benches
-// can assert the budget actually holds.
+// can assert the budget actually holds.  The gauge obeys a conservation
+// invariant at every observation: affine_resident_bytes ==
+// sum over live generations of (shared_bytes + private_bytes) — exposed for
+// verification via affine_accounting().
 //
 // Concurrency model: the pool is lock-striped into N shards, each with its
 // own mutex, free lists, affine lists, and dirty queue.  A thread's
@@ -85,7 +93,27 @@ struct PoolStats {
   // Governance counters (the eviction policy's observable behavior).
   uint64_t affine_evictions = 0;       // shells evicted by the resident-byte budget
   uint64_t affine_retired = 0;         // shells eagerly reclaimed by RetireGeneration
-  uint64_t affine_resident_bytes = 0;  // gauge: bytes parked affine right now
+  // Gauge: bytes parked affine right now == affine_shared_bytes +
+  // affine_private_bytes (the conservation invariant).
+  uint64_t affine_resident_bytes = 0;
+  uint64_t affine_shared_bytes = 0;   // gauge: extent chains, once per live generation
+  uint64_t affine_private_bytes = 0;  // gauge: per-shell privatized pages
+};
+
+// A consistent point-in-time breakdown of the affine residency gauge (taken
+// under the generation lock, so the per-generation rows and the gauge can
+// never disagree): sum(shared + private) over rows == resident_bytes at
+// every observation, the COW analogue of the executor's
+// submitted == completed + queued + in_flight conservation law.
+struct AffineAccounting {
+  struct Generation {
+    uint64_t generation = 0;
+    uint64_t shared_bytes = 0;   // the extent chain, charged once
+    uint64_t private_bytes = 0;  // privatized pages across parked shells
+    int64_t parked_shells = 0;
+  };
+  uint64_t resident_bytes = 0;  // the affine_resident_bytes gauge
+  std::vector<Generation> generations;
 };
 
 struct PoolOptions {
@@ -129,7 +157,20 @@ class Pool {
   // AcquireAffine(generation) can delta-restore it.  The post-restore dirty
   // delta is recorded in stats (delta_pages).  Never hand a shell here whose
   // memory deviates from the snapshot outside its epoch bitmap.
-  void ReleaseAffine(std::unique_ptr<vkvm::Vm> vm, uint64_t generation);
+  //
+  // Residency accounting: a COW-backed shell is charged its privatized bytes
+  // only; `shared_bytes` (the generation's extent-chain size) is charged
+  // once when the generation's first shell parks and released when its last
+  // shell leaves.  A shell without a COW base is charged its full guest
+  // memory (legacy full-copy parking) and should pass shared_bytes == 0.
+  void ReleaseAffine(std::unique_ptr<vkvm::Vm> vm, uint64_t generation,
+                     uint64_t shared_bytes = 0);
+
+  // Pops one shell parked under `generation` (any shard, any mem size)
+  // without any clean-shell or fresh-create fallback: nullptr when nothing
+  // is parked.  The re-capture path folds a warm shell's drift into a delta
+  // snapshot; counted as an acquire + affine hit like AcquireAffine.
+  std::unique_ptr<vkvm::Vm> StealParkedAffine(uint64_t generation);
 
   // Eagerly reclaims every shell parked under snapshot `generation` (the
   // generation was retired: its key re-captured or dropped).  Shells go to
@@ -148,6 +189,9 @@ class Pool {
   void Prewarm(const vkvm::VmConfig& config, int count);
 
   PoolStats stats() const;
+  // Consistent snapshot of the residency gauge and its per-generation
+  // breakdown (see AffineAccounting).
+  AffineAccounting affine_accounting() const;
   // Clean shells of `mem_size` across all shards.
   size_t FreeShells(uint64_t mem_size) const;
   // Clean shells of any size across all shards (conservation checks).
@@ -162,10 +206,18 @@ class Pool {
   size_t FreeShellsInShard(size_t shard, uint64_t mem_size) const;
 
  private:
+  // A parked snapshot-affine shell plus the private bytes it was charged at
+  // park time (the charge must be released with the same value it was taken
+  // with, whatever the memory looks like later).
+  struct AffineShell {
+    std::unique_ptr<vkvm::Vm> vm;
+    uint64_t private_bytes = 0;
+  };
+
   struct Shard {
     mutable std::mutex mu;
-    std::map<uint64_t, std::vector<std::unique_ptr<vkvm::Vm>>> free;    // by mem size
-    std::map<uint64_t, std::vector<std::unique_ptr<vkvm::Vm>>> affine;  // by snapshot generation
+    std::map<uint64_t, std::vector<std::unique_ptr<vkvm::Vm>>> free;  // by mem size
+    std::map<uint64_t, std::vector<AffineShell>> affine;  // by snapshot generation
     std::deque<std::unique_ptr<vkvm::Vm>> dirty;
   };
 
@@ -194,8 +246,13 @@ class Pool {
   // retired — the caller must divert the shell to the cleaning path instead
   // of parking it.  Both are called with the owning shard's lock held, so a
   // park can never interleave with RetireGeneration's sweep of that shard.
-  bool TryNoteAffineParked(uint64_t generation, uint64_t bytes);
-  void NoteAffineRemoved(uint64_t generation, uint64_t bytes);
+  // The gauge atomics are written inside the gen_mu_ critical section, which
+  // is what makes affine_accounting()'s breakdown == gauge at every
+  // observation.  shared_bytes is charged on a generation's first park and
+  // released on its last removal; private_bytes per shell.
+  bool TryNoteAffineParked(uint64_t generation, uint64_t shared_bytes,
+                           uint64_t private_bytes);
+  void NoteAffineRemoved(uint64_t generation, uint64_t private_bytes);
   // Sends a formerly-affine shell through the cleaning path: the dirty
   // queue (async mode) or an inline clean (sync mode).  `shard` is where it
   // should land / was parked.
@@ -229,6 +286,10 @@ class Pool {
   struct GenInfo {
     uint64_t last_use_tick = 0;
     int64_t parked_shells = 0;
+    // Residency breakdown: the shared extent chain (charged while any shell
+    // is parked) and the sum of parked shells' private bytes.
+    uint64_t shared_bytes = 0;
+    uint64_t private_bytes = 0;
   };
   mutable std::mutex gen_mu_;
   std::map<uint64_t, GenInfo> generations_;
@@ -254,6 +315,8 @@ class Pool {
     std::atomic<uint64_t> affine_evictions{0};
     std::atomic<uint64_t> affine_retired{0};
     std::atomic<uint64_t> affine_resident_bytes{0};
+    std::atomic<uint64_t> affine_shared_bytes{0};
+    std::atomic<uint64_t> affine_private_bytes{0};
   };
   mutable AtomicStats stats_;
 };

@@ -50,6 +50,58 @@ void Runtime::RetireSnapshot(const std::string& key) {
   }
 }
 
+RecaptureOutcome Runtime::RecaptureSnapshot(const std::string& key) {
+  RecaptureOutcome out;
+  SnapshotRef parent = snapshots_.Find(key);
+  if (parent == nullptr) {
+    out.status = RecaptureOutcome::Status::kNoSnapshot;
+    return out;
+  }
+  out.old_generation = parent->generation;
+  // A warm shell parked under the current generation is the drift we fold:
+  // its memory == parent view + epoch-dirty pages.
+  std::unique_ptr<vkvm::Vm> vm = pool_.StealParkedAffine(parent->generation);
+  if (vm == nullptr) {
+    out.status = RecaptureOutcome::Status::kNoWarmShell;
+    out.new_generation = parent->generation;
+    return out;
+  }
+  if (vm->memory().CountEpochDirtyPages() == 0) {
+    // Nothing written since the last restore: the parent still describes
+    // the service exactly.  Re-park untouched.
+    pool_.ReleaseAffine(std::move(vm), parent->generation, parent->chain_byte_size());
+    out.status = RecaptureOutcome::Status::kNoDrift;
+    out.new_generation = parent->generation;
+    return out;
+  }
+  SnapshotRef child = CaptureDeltaSnapshot(vm->memory(), *parent);
+  out.delta_bytes = child->byte_size();
+  // Chain governance: flatten when the chain is too deep or the shadowed
+  // bytes it drags along outweigh the view (delta bloat).
+  const auto& extent = *child->extent;
+  if (child->chain_depth() > options_.chain_max_depth ||
+      static_cast<double>(extent.chain_byte_size()) >
+          options_.chain_flatten_slack * static_cast<double>(extent.CoveredBytes())) {
+    child = FlattenSnapshot(*child);
+    out.flattened = true;
+  }
+  out.new_generation = child->generation;
+  out.chain_depth = child->chain_depth();
+  // Publish the child, then retire the old generation: any shells still
+  // parked under it are reclaimed (their extent bytes survive through the
+  // child's parent chain as long as it needs them).
+  snapshots_.Put(key, child);
+  pool_.RetireGeneration(parent->generation);
+  // The stolen shell's memory *is* the child's view: re-base its COW
+  // tracking on the new chain (no copies) and park it warm under the new
+  // generation, ready for an affine hit.
+  vm->memory().AdoptCowBase(child->extent);
+  vm->memory().BeginEpoch();
+  pool_.ReleaseAffine(std::move(vm), child->generation, child->chain_byte_size());
+  out.status = RecaptureOutcome::Status::kRecaptured;
+  return out;
+}
+
 vkvm::VmConfig Runtime::MakeVmConfig(uint64_t mem_size) const {
   vkvm::VmConfig cfg = options_.vm_defaults;
   cfg.mem_size = mem_size;
@@ -58,19 +110,33 @@ vkvm::VmConfig Runtime::MakeVmConfig(uint64_t mem_size) const {
 
 void Runtime::RestoreSnapshot(vkvm::Vm& vm, const Snapshot& snap, bool affine,
                               InvokeStats* stats) {
-  // Lay the snapshot into the shell.  A cold/foreign shell replays every
-  // extent — the "simple snapshotting strategy" whose cost is bounded by
-  // memcpy bandwidth (Figure 12), now a handful of large memcpys.  An
-  // affine shell already holds the snapshot and only repairs the pages the
-  // previous tenant dirtied, so warm restore cost follows the working set,
-  // not the image.  `snap` is immutable and reference-held by the caller,
-  // so either copy runs without any SnapshotStore lock: concurrent restores
-  // of the same key proceed in parallel.
-  const uint64_t copied =
-      affine ? RestoreDeltaInto(snap, &vm.memory()) : RestoreFullInto(snap, &vm.memory());
+  // Lay the snapshot into the shell.  An affine shell already holds the
+  // snapshot and only repairs the pages the previous tenant dirtied, so
+  // warm restore cost follows the working set, not the image.  A clean
+  // shell under snapshot affinity *maps* the shared COW extent chain —
+  // charged per extent, not per byte — and privatizes pages on write.
+  // With affinity off, it replays every extent by copy: the "simple
+  // snapshotting strategy" whose cost is bounded by memcpy bandwidth
+  // (Figure 12), kept as the A/B baseline.  `snap` is immutable and
+  // reference-held by the caller, so every path runs without any
+  // SnapshotStore lock: concurrent restores of the same key proceed in
+  // parallel.
+  uint64_t copied = 0;
+  if (affine) {
+    copied = RestoreDeltaInto(snap, &vm.memory());
+    vm.AddHostCycles(static_cast<uint64_t>(
+        static_cast<double>(copied) / vm.config().host_costs.memcpy_bytes_per_cycle));
+  } else if (options_.snapshot_affinity) {
+    MapCowInto(snap, &vm.memory());
+    vm.AddHostCycles(snap.extent->chain_extent_count() *
+                     vm.config().host_costs.cow_map_extent);
+    stats->mapped_cow = true;
+  } else {
+    copied = RestoreFullInto(snap, &vm.memory());
+    vm.AddHostCycles(static_cast<uint64_t>(
+        static_cast<double>(copied) / vm.config().host_costs.memcpy_bytes_per_cycle));
+  }
   vm.cpu().RestoreArch(snap.cpu);
-  vm.AddHostCycles(static_cast<uint64_t>(
-      static_cast<double>(copied) / vm.config().host_costs.memcpy_bytes_per_cycle));
   // Memory now equals the snapshot exactly: start the epoch whose dirty set
   // is the next delta restore's work list.
   vm.memory().BeginEpoch();
@@ -134,7 +200,15 @@ vbase::Result<int64_t> Runtime::Dispatch(uint16_t port, HypercallFrame& frame) {
         SnapshotRef winner = snapshots_.PutIfAbsent(frame.spec.key, snap);
         if (winner == snap) {
           frame.resident_generation = snap->generation;
+          frame.resident_shared_bytes = snap->chain_byte_size();
           frame.outcome.stats.took_snapshot = true;
+          if (options_.snapshot_affinity) {
+            // The shell's memory *is* the captured view: adopt the published
+            // extent chain as its COW base (no copies) so the rest of this
+            // run privatizes on write and the park charges the working set,
+            // not the image.
+            vm.memory().AdoptCowBase(snap->extent);
+          }
         }
       }
       return 0;
@@ -401,15 +475,18 @@ RunOutcome Runtime::Invoke(const VirtineSpec& spec) {
   // (no zeroing; the epoch bitmap records the delta for the next restore),
   // anything else goes back through the cleaning path. --------------------
   uint64_t park_generation = 0;
+  uint64_t park_shared_bytes = 0;
   if (options_.snapshot_affinity && outcome.status.ok()) {
     if (outcome.stats.restored_snapshot && snap != nullptr) {
       park_generation = snap->generation;
+      park_shared_bytes = snap->chain_byte_size();
     } else if (frame.resident_generation != 0) {
       park_generation = frame.resident_generation;
+      park_shared_bytes = frame.resident_shared_bytes;
     }
   }
   if (park_generation != 0) {
-    pool_.ReleaseAffine(std::move(vm), park_generation);
+    pool_.ReleaseAffine(std::move(vm), park_generation, park_shared_bytes);
   } else {
     pool_.Release(std::move(vm));
   }

@@ -25,6 +25,14 @@
 // the next restore (isolation objective, Section 3.3).  Every capture gets a
 // process-unique `generation`; the pool uses it to prove a parked shell
 // holds exactly this snapshot before taking the delta path.
+//
+// COW extents: the captured pages live in an immutable, refcounted
+// vhw::ExtentBuffer that shells *map* (GuestMemory's COW backing mode)
+// instead of copy — N parked shells of one generation keep the image
+// resident once, each charged only for the pages it privatized.  Snapshot
+// chains stack a delta child buffer over its parent's (re-capture of a
+// drifted warm service); FindPage and the restore paths walk the chain
+// transparently.
 #ifndef SRC_WASP_SNAPSHOT_H_
 #define SRC_WASP_SNAPSHOT_H_
 
@@ -42,27 +50,32 @@
 namespace wasp {
 
 struct Snapshot {
-  // A run of `page_count` consecutive captured guest-physical pages starting
-  // at `first_page`, stored at `byte_offset` within `bytes`.
-  struct Extent {
-    uint64_t first_page = 0;
-    uint64_t page_count = 0;
-    uint64_t byte_offset = 0;
-  };
+  using Extent = vhw::ExtentBuffer::Extent;
 
   vhw::ArchState cpu;
   uint64_t mem_size = 0;
   // Process-unique capture id (never 0); keys the pool's affine shell lists.
   uint64_t generation = 0;
-  std::vector<Extent> extents;  // sorted by first_page, non-overlapping
-  std::vector<uint8_t> bytes;   // concatenated extent payloads
+  // Generation this snapshot was re-captured over (0 for a root capture).
+  uint64_t parent_generation = 0;
+  // The captured pages: this snapshot's own layer, chained to its parent's
+  // buffer for a delta capture.  Never null, never mutated; shells map it as
+  // their COW base, so the buffer outlives the snapshot while any shell or
+  // child chain still references it.
+  vhw::ExtentBufferRef extent;
 
-  uint64_t byte_size() const { return bytes.size(); }
-  uint64_t page_count() const { return bytes.size() >> vhw::kPageBits; }
+  // Bytes captured in this snapshot's own layer (the delta, for a child).
+  uint64_t byte_size() const { return extent->byte_size(); }
+  uint64_t page_count() const { return extent->page_count(); }
+  // Bytes the whole chain keeps resident: what one live generation charges
+  // against the pool's affine budget, independent of how many shells map it.
+  uint64_t chain_byte_size() const { return extent->chain_byte_size(); }
+  int chain_depth() const { return extent->chain_depth(); }
 
-  // Pointer to the captured content of `page`, or nullptr when the page was
-  // clean at capture time (i.e. it is all-zero in the snapshot's view).
-  const uint8_t* FindPage(uint64_t page) const;
+  // Pointer to the captured content of `page` (chain lookup: a child's page
+  // shadows its parent's), or nullptr when no layer holds it (i.e. it is
+  // all-zero in the snapshot's view).
+  const uint8_t* FindPage(uint64_t page) const { return extent->FindPage(page); }
 };
 
 using SnapshotRef = std::shared_ptr<const Snapshot>;
@@ -71,18 +84,45 @@ using SnapshotRef = std::shared_ptr<const Snapshot>;
 uint64_t NextSnapshotGeneration();
 
 // Captures `mem`'s dirty pages (extent-coalesced) plus `cpu` into a new
-// snapshot with a fresh generation.
+// root snapshot with a fresh generation.
 SnapshotRef CaptureSnapshot(const vhw::GuestMemory& mem, const vhw::ArchState& cpu);
 
-// Replays every extent into `mem` (which the caller guarantees is clean /
-// all-zero outside the extents).  Marks the written pages dirty and
-// prefaults their EPT regions.  Returns the bytes copied (== byte_size()).
+// Captures `mem`'s *epoch-dirty* pages as a delta child chained over
+// `parent`'s extent buffer, under a fresh generation.  The caller guarantees
+// `mem` deviates from `parent`'s view only in epoch-dirty pages (the affine
+// shell contract), so parent chain + delta describe the memory exactly.
+// The child resumes at the parent's capture point (same CPU state): folding
+// drift into a chain is only sound for services whose warm state stays
+// valid across invocations (caches, JIT output) — which is what re-capture
+// is for.
+SnapshotRef CaptureDeltaSnapshot(const vhw::GuestMemory& mem, const Snapshot& parent);
+
+// Returns a copy of `snap` whose chain is collapsed into a single
+// parentless layer: same page view and generation, no shadowed parent
+// bytes, depth 1.
+SnapshotRef FlattenSnapshot(const Snapshot& snap);
+
+// Replays every extent (whole chain, root first) into `mem` (which the
+// caller guarantees is clean / all-zero outside the extents).  Marks the
+// written pages dirty and prefaults their EPT regions.  Returns the bytes
+// copied (== chain_byte_size(); shadowed parent pages are overwritten by
+// their child's).  This is the non-shared path: the shell owns a private
+// copy of the image, which is exactly the paper's "simple snapshotting
+// strategy" kept for A/B benchmarking.
 uint64_t RestoreFullInto(const Snapshot& snap, vhw::GuestMemory* mem);
+
+// Maps `snap`'s extent chain into clean `mem` as a shared COW base: the
+// shell reads the image through the shared buffer and privatizes pages only
+// on write.  Byte-identical to RestoreFullInto, but the shell is charged for
+// private pages only.  Returns the shared bytes mapped (chain_byte_size()).
+uint64_t MapCowInto(const Snapshot& snap, vhw::GuestMemory* mem);
 
 // Delta restore for a shell whose memory already equals `snap` except for
 // the pages written since the last BeginEpoch: repairs exactly those pages
 // (copying captured content back, zeroing pages the snapshot never held) and
-// returns the bytes touched.  The caller begins a new epoch afterwards.
+// returns the bytes touched.  On a shell whose COW base is `snap`'s extent,
+// the repair also de-privatizes the pages, so the shell's resident charge
+// drops back toward zero.  The caller begins a new epoch afterwards.
 uint64_t RestoreDeltaInto(const Snapshot& snap, vhw::GuestMemory* mem);
 
 // Keyed snapshot cache: one snapshot per virtine image key ("the first

@@ -5,7 +5,9 @@
 // pool's snapshot-affine acquire/release/reclaim paths.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include "src/base/rng.h"
@@ -71,11 +73,11 @@ TEST(Snapshot, ContiguousDirtyRunsCoalesceIntoExtents) {
   uint8_t b = 0xcd;
   ASSERT_TRUE(mem.Write(0x40000, &b, 1).ok());  // page 64, isolated
   wasp::SnapshotRef snap = wasp::CaptureSnapshot(mem, vhw::ArchState{});
-  ASSERT_EQ(snap->extents.size(), 2u);
-  EXPECT_EQ(snap->extents[0].first_page, 8u);
-  EXPECT_EQ(snap->extents[0].page_count, 10u);
-  EXPECT_EQ(snap->extents[1].first_page, 64u);
-  EXPECT_EQ(snap->extents[1].page_count, 1u);
+  ASSERT_EQ(snap->extent->extents.size(), 2u);
+  EXPECT_EQ(snap->extent->extents[0].first_page, 8u);
+  EXPECT_EQ(snap->extent->extents[0].page_count, 10u);
+  EXPECT_EQ(snap->extent->extents[1].first_page, 64u);
+  EXPECT_EQ(snap->extent->extents[1].page_count, 1u);
   EXPECT_EQ(snap->byte_size(), 11 * kPageSize);
   // FindPage resolves captured pages and rejects uncaptured ones.
   ASSERT_NE(snap->FindPage(8), nullptr);
@@ -357,6 +359,501 @@ TEST(AffineRuntime, AffinityDisabledStillRestoresCorrectly) {
   }
   EXPECT_EQ(runtime.pool().stats().affine_parks, 0u);
   EXPECT_EQ(runtime.pool().TotalAffineShells(), 0u);
+}
+
+// --- COW extents --------------------------------------------------------------
+
+// Asserts the pool's gauge conservation invariant on one consistent
+// accounting snapshot: resident_bytes == sum over generations of
+// (shared + private).
+void ExpectConserved(const wasp::Pool& pool) {
+  const wasp::AffineAccounting acct = pool.affine_accounting();
+  uint64_t sum = 0;
+  for (const auto& gen : acct.generations) {
+    sum += gen.shared_bytes + gen.private_bytes;
+  }
+  EXPECT_EQ(sum, acct.resident_bytes);
+}
+
+// The COW differential: mapping a snapshot's shared extent chain must be
+// byte-identical to a full copy, writes must privatize exactly the epoch
+// pages, and a delta restore must re-share everything (private count back to
+// zero) while still matching the full-copy reference byte-for-byte.
+TEST(Cow, WritePrivatizationDifferentialFuzz) {
+  constexpr uint64_t kMemSize = 1 << 20;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    vbase::Rng rng(seed * 104729);
+    vhw::GuestMemory base(kMemSize);
+    const int base_writes = 4 + static_cast<int>(rng.Below(20));
+    for (int i = 0; i < base_writes; ++i) {
+      std::vector<uint8_t> buf(1 + rng.Below(3 * kPageSize));
+      for (uint8_t& v : buf) {
+        v = static_cast<uint8_t>(rng.Next());
+      }
+      ASSERT_TRUE(base.Write(rng.Below(kMemSize - buf.size()), buf.data(), buf.size()).ok());
+    }
+    wasp::SnapshotRef snap = wasp::CaptureSnapshot(base, vhw::ArchState{});
+
+    vhw::GuestMemory full(kMemSize);
+    wasp::RestoreFullInto(*snap, &full);
+    vhw::GuestMemory cow(kMemSize);
+    EXPECT_EQ(wasp::MapCowInto(*snap, &cow), snap->chain_byte_size());
+    ASSERT_TRUE(cow.HasCowBase());
+    EXPECT_EQ(cow.CowPrivatePages(), 0u);
+    // The map is byte-identical to the copy, with identical dirty marks (a
+    // pool clean must re-zero exactly the same pages either way).
+    ASSERT_EQ(std::memcmp(cow.data(), full.data(), kMemSize), 0);
+    EXPECT_EQ(cow.CountDirtyPages(), full.CountDirtyPages());
+    cow.BeginEpoch();
+    full.BeginEpoch();
+
+    // Identical tenant writes on both shells.
+    const int tenant_writes = 1 + static_cast<int>(rng.Below(30));
+    for (int i = 0; i < tenant_writes; ++i) {
+      if (rng.Below(4) == 0) {
+        const uint64_t gpa = rng.Below(kMemSize - 8) & ~7ULL;
+        const uint64_t v = rng.Next();
+        cow.StoreRaw<uint64_t>(gpa, v);
+        full.StoreRaw<uint64_t>(gpa, v);
+      } else {
+        std::vector<uint8_t> buf(1 + rng.Below(2 * kPageSize));
+        for (uint8_t& v : buf) {
+          v = static_cast<uint8_t>(rng.Next());
+        }
+        const uint64_t gpa = rng.Below(kMemSize - buf.size());
+        ASSERT_TRUE(cow.Write(gpa, buf.data(), buf.size()).ok());
+        ASSERT_TRUE(full.Write(gpa, buf.data(), buf.size()).ok());
+      }
+    }
+    ASSERT_EQ(std::memcmp(cow.data(), full.data(), kMemSize), 0);
+    // The epoch began at the map point, so privatized pages are exactly the
+    // epoch-dirty pages: what the shell is charged while parked.
+    EXPECT_EQ(cow.CowPrivatePages(), cow.CountEpochDirtyPages()) << "seed " << seed;
+
+    // Delta restore takes the repair path on the COW shell (re-sharing its
+    // pages) and the legacy copy path on the full shell; both must converge
+    // on the snapshot's exact view.
+    const uint64_t repaired_cow = wasp::RestoreDeltaInto(*snap, &cow);
+    const uint64_t repaired_full = wasp::RestoreDeltaInto(*snap, &full);
+    EXPECT_EQ(repaired_cow, repaired_full);
+    ASSERT_EQ(std::memcmp(cow.data(), full.data(), kMemSize), 0)
+        << "COW repair diverged from legacy delta restore (seed " << seed << ")";
+    vhw::GuestMemory reference(kMemSize);
+    wasp::RestoreFullInto(*snap, &reference);
+    ASSERT_EQ(std::memcmp(cow.data(), reference.data(), kMemSize), 0);
+    // All private pages were re-shared: the parked charge returns to zero.
+    EXPECT_EQ(cow.CowPrivatePages(), 0u);
+    EXPECT_TRUE(cow.HasCowBase());
+    EXPECT_EQ(cow.cow_base(), snap->extent);
+  }
+}
+
+TEST(Cow, CleanDropsTheBase) {
+  vhw::GuestMemory mem(1 << 20);
+  uint8_t b = 0x33;
+  ASSERT_TRUE(mem.Write(0x4000, &b, 1).ok());
+  wasp::SnapshotRef snap = wasp::CaptureSnapshot(mem, vhw::ArchState{});
+  vhw::GuestMemory shell(1 << 20);
+  wasp::MapCowInto(*snap, &shell);
+  shell.ZeroDirtyPages();
+  EXPECT_FALSE(shell.HasCowBase());
+  EXPECT_EQ(shell.CowPrivatePages(), 0u);
+  EXPECT_EQ(shell.data()[0x4000], 0u);
+}
+
+// --- Snapshot chains ----------------------------------------------------------
+
+TEST(SnapshotChain, DeltaCaptureFlattenRestoreRoundTrip) {
+  constexpr uint64_t kMemSize = 1 << 20;
+  vhw::GuestMemory mem(kMemSize);
+  std::vector<uint8_t> image(16 * kPageSize, 0x11);
+  ASSERT_TRUE(mem.Write(0x8000, image.data(), image.size()).ok());  // pages 8..23
+  wasp::SnapshotRef root = wasp::CaptureSnapshot(mem, vhw::ArchState{});
+  EXPECT_EQ(root->chain_depth(), 1);
+
+  // Drift: one page shadowing the root's image, one page outside it.
+  mem.BeginEpoch();
+  std::vector<uint8_t> drift(kPageSize, 0x22);
+  ASSERT_TRUE(mem.Write(0xa000, drift.data(), drift.size()).ok());   // page 10, shadowed
+  ASSERT_TRUE(mem.Write(0x40000, drift.data(), drift.size()).ok());  // page 64, new
+  wasp::SnapshotRef child = wasp::CaptureDeltaSnapshot(mem, *root);
+  EXPECT_EQ(child->chain_depth(), 2);
+  EXPECT_EQ(child->parent_generation, root->generation);
+  EXPECT_EQ(child->byte_size(), 2 * kPageSize);  // own layer: the delta only
+  EXPECT_EQ(child->chain_byte_size(), root->byte_size() + 2 * kPageSize);
+  // Chain lookup: the child's page shadows the root's, untouched pages fall
+  // through to the root, uncovered pages resolve to nothing.
+  ASSERT_NE(child->FindPage(10), nullptr);
+  EXPECT_EQ(child->FindPage(10)[0], 0x22);
+  ASSERT_NE(child->FindPage(11), nullptr);
+  EXPECT_EQ(child->FindPage(11)[0], 0x11);
+  EXPECT_EQ(child->FindPage(64)[0], 0x22);
+  EXPECT_EQ(child->FindPage(7), nullptr);
+
+  // Full restore of the chain reproduces the drifted memory exactly, and so
+  // does a COW map of it.
+  vhw::GuestMemory via_copy(kMemSize);
+  EXPECT_EQ(wasp::RestoreFullInto(*child, &via_copy), child->chain_byte_size());
+  ASSERT_EQ(std::memcmp(via_copy.data(), mem.data(), kMemSize), 0);
+  vhw::GuestMemory via_map(kMemSize);
+  wasp::MapCowInto(*child, &via_map);
+  ASSERT_EQ(std::memcmp(via_map.data(), mem.data(), kMemSize), 0);
+
+  // Flattening collapses the chain to one parentless layer with the same
+  // view: shadowed root pages are dropped, not duplicated.
+  wasp::SnapshotRef flat = wasp::FlattenSnapshot(*child);
+  EXPECT_EQ(flat->chain_depth(), 1);
+  EXPECT_EQ(flat->generation, child->generation);
+  EXPECT_EQ(flat->parent_generation, 0u);
+  EXPECT_EQ(flat->byte_size(), child->extent->CoveredBytes());
+  EXPECT_LT(flat->chain_byte_size(), child->chain_byte_size());
+  vhw::GuestMemory via_flat(kMemSize);
+  wasp::RestoreFullInto(*flat, &via_flat);
+  ASSERT_EQ(std::memcmp(via_flat.data(), mem.data(), kMemSize), 0);
+}
+
+// Re-capture folds a warm service's drift into a delta child: the counter
+// guest's marker (incremented once per invocation, normally repaired back to
+// zero) becomes part of the published snapshot, so warm results step up by
+// one per re-capture.
+TEST(AffineRuntime, RecaptureFoldsDriftIntoDeltaChild) {
+  auto image = vrt::BuildRawImage(R"(
+start:
+  mov r0, 0
+  out HC_SNAPSHOT, r0
+  mov r8, 0x600
+  ld64 r9, [r8+0]
+  add r9, 1
+  st64 [r8+0], r9
+  mov r0, r9
+  mov r8, 0
+  st64 [r8+0], r0
+  hlt
+)");
+  ASSERT_TRUE(image.ok());
+  wasp::RuntimeOptions options;
+  // Keep the chain a chain: this test asserts depth growth, not flattening.
+  options.chain_flatten_slack = 1000.0;
+  wasp::Runtime runtime(options);
+  wasp::VirtineSpec spec;
+  spec.image = &image.value();
+  spec.key = "recapture";
+  spec.use_snapshot = true;
+  spec.crt_snapshot = false;
+  for (int i = 0; i < 3; ++i) {
+    auto outcome = runtime.Invoke(spec);
+    ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+    EXPECT_EQ(outcome.result_word, 1u);
+  }
+
+  const wasp::RecaptureOutcome rc = runtime.RecaptureSnapshot("recapture");
+  ASSERT_EQ(rc.status, wasp::RecaptureOutcome::Status::kRecaptured);
+  EXPECT_NE(rc.new_generation, rc.old_generation);
+  EXPECT_EQ(rc.chain_depth, 2);
+  EXPECT_FALSE(rc.flattened);
+  EXPECT_GT(rc.delta_bytes, 0u);
+  const wasp::SnapshotRef snap = runtime.snapshots().Find("recapture");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->generation, rc.new_generation);
+  EXPECT_EQ(snap->parent_generation, rc.old_generation);
+
+  // The marker the re-capture folded in was 1, so warm runs now return 2 —
+  // and the stolen shell was re-parked warm, so the first one is already an
+  // affine hit.
+  for (int i = 0; i < 3; ++i) {
+    auto outcome = runtime.Invoke(spec);
+    ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+    EXPECT_EQ(outcome.result_word, 2u) << "warm call " << i;
+    EXPECT_TRUE(outcome.stats.restored_snapshot);
+    EXPECT_TRUE(outcome.stats.affine_restore) << "warm call " << i;
+  }
+
+  // A second re-capture grows the chain one more layer and steps the
+  // counter again.
+  const wasp::RecaptureOutcome rc2 = runtime.RecaptureSnapshot("recapture");
+  ASSERT_EQ(rc2.status, wasp::RecaptureOutcome::Status::kRecaptured);
+  EXPECT_EQ(rc2.chain_depth, 3);
+  EXPECT_EQ(rc2.old_generation, rc.new_generation);
+  auto outcome = runtime.Invoke(spec);
+  ASSERT_TRUE(outcome.status.ok());
+  EXPECT_EQ(outcome.result_word, 3u);
+}
+
+TEST(AffineRuntime, RecaptureFlattensWhenChainExceedsDepthBound) {
+  auto image = vrt::BuildRawImage(R"(
+start:
+  mov r0, 0
+  out HC_SNAPSHOT, r0
+  mov r8, 0x600
+  ld64 r9, [r8+0]
+  add r9, 1
+  st64 [r8+0], r9
+  mov r0, r9
+  mov r8, 0
+  st64 [r8+0], r0
+  hlt
+)");
+  ASSERT_TRUE(image.ok());
+  wasp::RuntimeOptions options;
+  options.chain_max_depth = 1;  // any delta child must flatten immediately
+  wasp::Runtime runtime(options);
+  wasp::VirtineSpec spec;
+  spec.image = &image.value();
+  spec.key = "flatten";
+  spec.use_snapshot = true;
+  spec.crt_snapshot = false;
+  ASSERT_TRUE(runtime.Invoke(spec).status.ok());
+  ASSERT_TRUE(runtime.Invoke(spec).status.ok());
+  const wasp::RecaptureOutcome rc = runtime.RecaptureSnapshot("flatten");
+  ASSERT_EQ(rc.status, wasp::RecaptureOutcome::Status::kRecaptured);
+  EXPECT_TRUE(rc.flattened);
+  EXPECT_EQ(rc.chain_depth, 1);
+  const wasp::SnapshotRef snap = runtime.snapshots().Find("flatten");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->parent_generation, 0u);
+  auto outcome = runtime.Invoke(spec);
+  ASSERT_TRUE(outcome.status.ok());
+  EXPECT_EQ(outcome.result_word, 2u);
+}
+
+TEST(AffineRuntime, RecaptureEdgeCases) {
+  wasp::Runtime runtime;
+  // Unknown key: nothing to re-capture.
+  EXPECT_EQ(runtime.RecaptureSnapshot("nope").status,
+            wasp::RecaptureOutcome::Status::kNoSnapshot);
+
+  auto image = vrt::BuildImage(vrt::Env::kLong64, vrt::FibSource());
+  ASSERT_TRUE(image.ok());
+  wasp::VirtineSpec spec;
+  spec.image = &image.value();
+  spec.key = "edges";
+  spec.use_snapshot = true;
+  wasp::VirtineFunc<int64_t(int64_t)> fib(&runtime, spec);
+  ASSERT_TRUE(fib.Call(10).ok());
+
+  // A re-capture parks the stolen shell with a fresh epoch, so an immediate
+  // second re-capture sees no drift and leaves the snapshot untouched.
+  const wasp::RecaptureOutcome rc = runtime.RecaptureSnapshot("edges");
+  ASSERT_EQ(rc.status, wasp::RecaptureOutcome::Status::kRecaptured);
+  const wasp::RecaptureOutcome again = runtime.RecaptureSnapshot("edges");
+  EXPECT_EQ(again.status, wasp::RecaptureOutcome::Status::kNoDrift);
+  EXPECT_EQ(again.new_generation, rc.new_generation);
+
+  // With no shell parked under the generation there is no drift to fold.
+  auto stolen = runtime.pool().StealParkedAffine(rc.new_generation);
+  ASSERT_NE(stolen, nullptr);
+  runtime.pool().Release(std::move(stolen));
+  EXPECT_EQ(runtime.RecaptureSnapshot("edges").status,
+            wasp::RecaptureOutcome::Status::kNoWarmShell);
+}
+
+// --- COW residency accounting -------------------------------------------------
+
+TEST(AffinePool, CowParkChargesPrivateOnlySharedOncePerGeneration) {
+  vhw::GuestMemory base(1 << 20);
+  std::vector<uint8_t> image(64 * kPageSize, 0x44);
+  ASSERT_TRUE(base.Write(0, image.data(), image.size()).ok());
+  wasp::SnapshotRef snap = wasp::CaptureSnapshot(base, vhw::ArchState{});
+  const uint64_t shared = snap->chain_byte_size();
+
+  wasp::Pool pool(wasp::CleanMode::kSync);
+  vkvm::VmConfig cfg;
+  auto prep_with_private_pages = [&](int pages) {
+    auto vm = pool.Acquire(cfg);
+    wasp::MapCowInto(*snap, &vm->memory());
+    vm->memory().BeginEpoch();
+    uint8_t b = 0x55;
+    for (int p = 0; p < pages; ++p) {
+      EXPECT_TRUE(vm->memory().Write((100 + p) * kPageSize, &b, 1).ok());
+    }
+    EXPECT_EQ(vm->memory().CowPrivatePages(), static_cast<uint64_t>(pages));
+    return vm;
+  };
+  // Prepare both shells before parking either: with nothing clean pooled, a
+  // plain Acquire would reclaim (clean) an already-parked affine shell.
+  auto shell2 = prep_with_private_pages(2);
+  auto shell3 = prep_with_private_pages(3);
+  pool.ReleaseAffine(std::move(shell2), snap->generation, shared);
+  ExpectConserved(pool);
+  wasp::AffineAccounting acct = pool.affine_accounting();
+  EXPECT_EQ(acct.resident_bytes, shared + 2 * kPageSize);
+  // A second shell of the same generation adds only its private pages: the
+  // chain is already charged.
+  pool.ReleaseAffine(std::move(shell3), snap->generation, shared);
+  ExpectConserved(pool);
+  acct = pool.affine_accounting();
+  EXPECT_EQ(acct.resident_bytes, shared + 5 * kPageSize);
+  ASSERT_EQ(acct.generations.size(), 1u);
+  EXPECT_EQ(acct.generations[0].generation, snap->generation);
+  EXPECT_EQ(acct.generations[0].shared_bytes, shared);
+  EXPECT_EQ(acct.generations[0].private_bytes, 5 * kPageSize);
+  EXPECT_EQ(acct.generations[0].parked_shells, 2);
+
+  // Stealing one shell releases its private charge but keeps the shared
+  // charge (a shell is still parked).
+  auto stolen = pool.StealParkedAffine(snap->generation);
+  ASSERT_NE(stolen, nullptr);
+  ExpectConserved(pool);
+  acct = pool.affine_accounting();
+  EXPECT_EQ(acct.resident_bytes, shared + 5 * kPageSize - stolen->memory().CowPrivateBytes());
+  pool.Release(std::move(stolen));
+
+  // Retiring the generation reclaims the last shell and the shared charge.
+  pool.RetireGeneration(snap->generation);
+  ExpectConserved(pool);
+  acct = pool.affine_accounting();
+  EXPECT_EQ(acct.resident_bytes, 0u);
+  EXPECT_TRUE(acct.generations.empty());
+  EXPECT_EQ(pool.TotalAffineShells(), 0u);
+  const wasp::PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.affine_shared_bytes, 0u);
+  EXPECT_EQ(stats.affine_private_bytes, 0u);
+}
+
+TEST(AffinePool, LegacyParkWithoutCowBaseChargesFullMemory) {
+  wasp::Pool pool(wasp::CleanMode::kSync);
+  vkvm::VmConfig cfg;
+  auto vm = pool.Acquire(cfg);
+  uint8_t b = 0x66;
+  ASSERT_TRUE(vm->memory().Write(0x1000, &b, 1).ok());
+  pool.ReleaseAffine(std::move(vm), /*generation=*/7);
+  ExpectConserved(pool);
+  const wasp::AffineAccounting acct = pool.affine_accounting();
+  EXPECT_EQ(acct.resident_bytes, cfg.mem_size);
+  ASSERT_EQ(acct.generations.size(), 1u);
+  EXPECT_EQ(acct.generations[0].shared_bytes, 0u);
+  EXPECT_EQ(acct.generations[0].private_bytes, cfg.mem_size);
+  pool.RetireGeneration(7);
+  EXPECT_EQ(pool.affine_accounting().resident_bytes, 0u);
+}
+
+TEST(AffinePool, BudgetEvictionReleasesSharedChargeWithLastShell) {
+  vhw::GuestMemory base(1 << 20);
+  std::vector<uint8_t> image(32 * kPageSize, 0x77);
+  ASSERT_TRUE(base.Write(0, image.data(), image.size()).ok());
+  wasp::SnapshotRef a = wasp::CaptureSnapshot(base, vhw::ArchState{});
+  wasp::SnapshotRef b = wasp::CaptureSnapshot(base, vhw::ArchState{});
+  // Budget fits one generation's chain plus slack, never two.
+  wasp::PoolOptions options;
+  options.mode = wasp::CleanMode::kSync;
+  options.affine_budget_bytes = a->chain_byte_size() + 8 * kPageSize;
+  wasp::Pool pool(options);
+  vkvm::VmConfig cfg;
+  auto prep = [&](const wasp::SnapshotRef& snap) {
+    auto vm = pool.Acquire(cfg);
+    wasp::MapCowInto(*snap, &vm->memory());
+    vm->memory().BeginEpoch();
+    uint8_t v = 0x78;
+    EXPECT_TRUE(vm->memory().Write(200 * kPageSize, &v, 1).ok());
+    return vm;
+  };
+  // Prepare both shells before parking either (a plain Acquire reclaims
+  // parked affine shells when nothing clean is pooled).
+  auto shell_a = prep(a);
+  auto shell_b = prep(b);
+  pool.ReleaseAffine(std::move(shell_a), a->generation, a->chain_byte_size());
+  ExpectConserved(pool);
+  ASSERT_EQ(pool.affine_accounting().resident_bytes,
+            a->chain_byte_size() + kPageSize);
+  // Parking generation b blows the budget: generation a (LRU) is evicted
+  // wholesale, releasing its shared charge along with its last shell.
+  pool.ReleaseAffine(std::move(shell_b), b->generation, b->chain_byte_size());
+  ExpectConserved(pool);
+  const wasp::AffineAccounting acct = pool.affine_accounting();
+  EXPECT_EQ(acct.resident_bytes, b->chain_byte_size() + kPageSize);
+  ASSERT_EQ(acct.generations.size(), 1u);
+  EXPECT_EQ(acct.generations[0].generation, b->generation);
+  EXPECT_EQ(pool.AffineShells(a->generation), 0u);
+  EXPECT_GE(pool.stats().affine_evictions, 1u);
+}
+
+// The TSan target: parks, affine hits, budget evictions, steals, and
+// retirements race across threads while an observer asserts the gauge
+// conservation invariant on every snapshot it takes.
+TEST(AffinePoolConcurrency, GaugeConservationUnderParkEvictRetire) {
+  constexpr int kSnapshots = 4;
+  constexpr int kWorkers = 4;
+  constexpr int kItersPerWorker = 60;
+  std::vector<wasp::SnapshotRef> snaps;
+  for (int i = 0; i < kSnapshots; ++i) {
+    vhw::GuestMemory base(1 << 20);
+    std::vector<uint8_t> image((8 + 8 * i) * kPageSize, static_cast<uint8_t>(0x80 + i));
+    ASSERT_TRUE(base.Write(0, image.data(), image.size()).ok());
+    snaps.push_back(wasp::CaptureSnapshot(base, vhw::ArchState{}));
+  }
+  wasp::PoolOptions options;
+  options.mode = wasp::CleanMode::kAsync;
+  options.cleaners = 2;
+  // Tight enough that concurrent parks trigger budget evictions.
+  options.affine_budget_bytes = 3 * snaps.back()->chain_byte_size();
+  wasp::Pool pool(options);
+  vkvm::VmConfig cfg;
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      vbase::Rng rng(0xc0c0 + w);
+      for (int i = 0; i < kItersPerWorker; ++i) {
+        const wasp::SnapshotRef& snap = snaps[rng.Below(kSnapshots)];
+        bool affine = false;
+        auto vm = pool.AcquireAffine(cfg, snap->generation, &affine);
+        if (affine) {
+          wasp::RestoreDeltaInto(*snap, &vm->memory());
+        } else {
+          vm->memory().ZeroDirtyPages();
+          wasp::MapCowInto(*snap, &vm->memory());
+        }
+        vm->memory().BeginEpoch();
+        uint8_t b = static_cast<uint8_t>(rng.Next());
+        const int writes = static_cast<int>(rng.Below(4));
+        for (int p = 0; p < writes; ++p) {
+          ASSERT_TRUE(
+              vm->memory().Write((128 + rng.Below(64)) * kPageSize, &b, 1).ok());
+        }
+        pool.ReleaseAffine(std::move(vm), snap->generation, snap->chain_byte_size());
+      }
+    });
+  }
+  std::thread observer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const wasp::AffineAccounting acct = pool.affine_accounting();
+      uint64_t sum = 0;
+      for (const auto& gen : acct.generations) {
+        sum += gen.shared_bytes + gen.private_bytes;
+      }
+      ASSERT_EQ(sum, acct.resident_bytes) << "conservation violated mid-race";
+      std::this_thread::yield();
+    }
+  });
+  std::thread retirer([&] {
+    // Retire two of the four generations mid-run: races the workers' parks,
+    // which must divert to the cleaning path instead of re-stranding bytes.
+    pool.RetireGeneration(snaps[0]->generation);
+    std::this_thread::yield();
+    pool.RetireGeneration(snaps[1]->generation);
+  });
+  for (std::thread& t : workers) {
+    t.join();
+  }
+  retirer.join();
+  stop.store(true, std::memory_order_relaxed);
+  observer.join();
+
+  // Drain and retire everything: the gauge must return to exactly zero.
+  for (const wasp::SnapshotRef& snap : snaps) {
+    pool.RetireGeneration(snap->generation);
+  }
+  pool.DrainCleaner();
+  ExpectConserved(pool);
+  const wasp::AffineAccounting acct = pool.affine_accounting();
+  EXPECT_EQ(acct.resident_bytes, 0u);
+  EXPECT_TRUE(acct.generations.empty());
+  EXPECT_EQ(pool.TotalAffineShells(), 0u);
+  const wasp::PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.affine_shared_bytes, 0u);
+  EXPECT_EQ(stats.affine_private_bytes, 0u);
+  EXPECT_EQ(stats.affine_resident_bytes, 0u);
 }
 
 // Delta and full restore must be observationally identical to the guest:
