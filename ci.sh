@@ -22,9 +22,12 @@ count_gtests() {
 }
 
 if [[ "${TSAN:-0}" == "1" ]]; then
-  # ThreadSanitizer gate for the concurrent invocation engine (sharded pool,
-  # cleaner crew, executor, governance layer).  Separate build dir: TSan
-  # objects don't mix.
+  # ThreadSanitizer gate for the concurrent invocation engine (lock-free
+  # shell fast path: lane caches + tagged Treiber stacks, cleaner crew,
+  # executor, governance layer).  test_wasp_concurrency carries the PR 7
+  # stress suite — the mixed-op conservation stress and the Treiber-stack
+  # ABA/conservation regressions run under TSan here.  Separate build dir:
+  # TSan objects don't mix.
   BUILD_DIR="${BUILD_DIR:-build-tsan}"
   TSAN_TESTS=(test_wasp test_wasp_concurrency test_snapshot_engine test_governance
               test_net test_http_server_concurrency)
@@ -65,8 +68,12 @@ BUILD_DIR="${BUILD_DIR:-build}"
 cmake -B "$BUILD_DIR" -S . -DVIRTINES_WERROR="$WERROR"
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j"$(nproc)")
-# Multicore throughput smoke: fails (non-zero) if pooled-async scaling ever
-# drops below the 4x-at-8-threads floor, so the concurrent path cannot rot.
+# Multicore throughput + lock-free acquire smoke, swept to 16 lanes: fails
+# (non-zero) if pooled-async scaling drops below the 4x-at-8-threads floor,
+# if fewer than 95% of steady-state acquires are served lock-free (lane
+# cache + Treiber free-list), or if acquire p99 at 16 lanes grows past
+# max(2x the 1-lane p99, the scheduler-noise floor) — the lock-free fast
+# path cannot silently regress back onto the shard mutex.
 (cd "$BUILD_DIR" && ./fig9_multicore_scaling --quick)
 # Delta-restore + COW-density smoke: fails (non-zero) if affine warm snapshot
 # restore cost ever scales with image size again (16 MB vs 64 KB image at a
@@ -80,9 +87,10 @@ cmake --build "$BUILD_DIR" -j"$(nproc)"
 (cd "$BUILD_DIR" && ./fig13_http_server --quick)
 # Governance smoke: the fig16 gates on a shortened trace — per-key quota
 # bounds the interactive key's p99 queue wait within 2x of isolation at
-# <10% aggregate RPS cost, and COW extents keep 64 keys warm (>10x the
+# <10% aggregate RPS cost, COW extents keep 64 keys warm (>10x the
 # full-copy capacity) under the same budget with zero evictions through a
-# recapture/retire loop.
+# recapture/retire loop, and three-tier key_quota_overrides order admission
+# monotonically (premium > standard > free) under one identical flood.
 (cd "$BUILD_DIR" && ./fig16_multitenant --quick)
 # Per-lane coverage summary: the ctest suite count plus per-binary gtest
 # case totals, so a lane silently losing tests shows up in the log.

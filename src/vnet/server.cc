@@ -353,10 +353,16 @@ ConcurrentHttpServer::ConcurrentHttpServer(wasp::Runtime* runtime, wasp::HostEnv
                                            ConcurrentServerOptions options)
     : options_(options),
       inner_(runtime, env),
-      executor_(runtime,
-                wasp::ExecutorOptions{options.lanes, options.max_queue_depth,
-                                      options.block_when_full, options.key_quota,
-                                      options.batch_weight}) {}
+      executor_(runtime, [&options] {
+        wasp::ExecutorOptions opts;
+        opts.workers = options.lanes;
+        opts.max_queue_depth = options.max_queue_depth;
+        opts.block_when_full = options.block_when_full;
+        opts.key_quota = options.key_quota;
+        opts.key_quota_overrides = options.key_quota_overrides;
+        opts.batch_weight = options.batch_weight;
+        return opts;
+      }()) {}
 
 std::future<vbase::Result<ServeStats>> ConcurrentHttpServer::SubmitConnection(
     wasp::ByteChannel& channel, ServeMode mode) {

@@ -100,6 +100,10 @@ struct ConcurrentServerOptions {
   // submissions all share the handler's affinity key and therefore one
   // quota pool — leave this 0 if that path should only ever shed 503.
   size_t key_quota = 0;
+  // Per-key overrides of key_quota for routed submissions (keys are route
+  // names); forwarded to ExecutorOptions::key_quota_overrides.  A listed
+  // route uses its override (0 = unlimited); unlisted routes use key_quota.
+  std::map<std::string, size_t> key_quota_overrides = {};
   // Route -> scheduling class for routed submissions; unlisted routes are
   // latency-sensitive.  Weighted dequeue (ExecutorOptions::batch_weight)
   // keeps batch routes from starving interactive ones and vice versa.

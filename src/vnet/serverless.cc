@@ -334,6 +334,12 @@ GovernedReplay GovernTrace(const MeasuredTrace& trace, const GovernanceOptions& 
   std::vector<double> lane_free(static_cast<size_t>(lanes), 0.0);
   std::deque<size_t> queues[2];  // by KeyClass, request indices in arrival order
   std::vector<size_t> tenant_load(trace.names.size(), 0);  // queued + running
+  // Tier-resolved effective quota per tenant (0 = unlimited), fixed for the
+  // whole replay.
+  std::vector<size_t> tenant_quota(trace.names.size(), 0);
+  for (size_t t = 0; t < trace.names.size(); ++t) {
+    tenant_quota[t] = options.QuotaFor(trace.names[t]);
+  }
   using Completion = std::pair<double, size_t>;  // (done_us, tenant)
   std::priority_queue<Completion, std::vector<Completion>, std::greater<Completion>>
       completions;
@@ -394,7 +400,7 @@ GovernedReplay GovernTrace(const MeasuredTrace& trace, const GovernanceOptions& 
     // Quota first (mirrors Executor::Enqueue): the per-key signal beats the
     // global one so a hot key is told to back off, not that the server is
     // full.
-    if (options.key_quota > 0 && tenant_load[t] >= options.key_quota) {
+    if (tenant_quota[t] > 0 && tenant_load[t] >= tenant_quota[t]) {
       ++tenant.shed_quota;
       continue;
     }

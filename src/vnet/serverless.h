@@ -21,6 +21,7 @@
 #define SRC_VNET_SERVERLESS_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -102,6 +103,18 @@ struct GovernanceOptions {
   // Weighted class dequeue (one batch per `batch_weight` dequeues under
   // contention); <= 0 = no classes, strict FIFO (the ungoverned baseline).
   int batch_weight = 4;
+  // Tiered quotas: per-tenant (by TenantSpec name) overrides of key_quota,
+  // mirroring ExecutorOptions::key_quota_overrides.  A listed tenant uses
+  // its override (0 = explicitly unlimited); unlisted tenants fall back to
+  // key_quota.  Three entries (premium/standard/free) make the three-tier
+  // discipline fig16 sweeps.
+  std::map<std::string, size_t> key_quota_overrides = {};
+
+  // Effective quota for `tenant` (0 = unlimited) after override resolution.
+  size_t QuotaFor(const std::string& tenant) const {
+    auto it = key_quota_overrides.find(tenant);
+    return it != key_quota_overrides.end() ? it->second : key_quota;
+  }
 };
 
 // Per-tenant outcome of a governed replay.

@@ -25,7 +25,7 @@ Executor::Executor(Runtime* runtime, ExecutorOptions options)
   }
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(static_cast<uint32_t>(i)); });
   }
 }
 
@@ -54,9 +54,12 @@ Admission Executor::Enqueue(Job job, bool may_reject, std::future<RunOutcome>* f
     std::unique_lock<std::mutex> lock(mu_);
     // Per-key quota: rejected before (and independent of) the global bound,
     // and always immediately — a hot key must shed, not park submitters.
-    if (may_reject && !stop_ && options_.key_quota > 0 && !job.key.empty()) {
+    // The effective cap is tier-resolved (key_quota_overrides, falling back
+    // to key_quota), so premium keys can carry a looser bound than free ones.
+    const size_t quota = job.key.empty() ? 0 : options_.QuotaFor(job.key);
+    if (may_reject && !stop_ && quota > 0) {
       auto it = key_load_.find(job.key);
-      if (it != key_load_.end() && it->second >= options_.key_quota) {
+      if (it != key_load_.end() && it->second >= quota) {
         ++stats_.quota_rejected;
         return Admission::kQuotaExceeded;  // job (and its promise) dropped
       }
@@ -75,9 +78,9 @@ Admission Executor::Enqueue(Job job, bool may_reject, std::future<RunOutcome>* f
       // space, so enqueueing blindly here would overshoot the cap.  The
       // quota is a hard invariant; a woken waiter that would break it is
       // rejected at wake instead.
-      if (may_reject && !stop_ && options_.key_quota > 0 && !job.key.empty()) {
+      if (may_reject && !stop_ && quota > 0) {
         auto it = key_load_.find(job.key);
-        if (it != key_load_.end() && it->second >= options_.key_quota) {
+        if (it != key_load_.end() && it->second >= quota) {
           ++stats_.quota_rejected;
           // This reject consumed a dequeue's notify_one without taking the
           // freed slot; pass the wakeup on or another parked submitter
@@ -206,7 +209,12 @@ size_t Executor::PickClass() {
   return have_latency ? 0 : 1;
 }
 
-void Executor::WorkerLoop() {
+void Executor::WorkerLoop(uint32_t worker_index) {
+  // Register this worker as a pool lane: its acquires and releases hit a
+  // dedicated single-slot shell cache before any shared structure, and its
+  // stable lane id keeps it mapped to the same pool shard (and modeled NUMA
+  // node) across the executor's lifetime.
+  Pool::BindLane(worker_index);
   // Keyed submit hint: a worker that just ran snapshot key K parked K's
   // shell snapshot-affine in its home pool shard, so a queued job with the
   // same key is cheapest to run *here* (delta restore instead of a full
@@ -278,6 +286,7 @@ std::vector<RunOutcome> Executor::Run(Runtime* runtime, const std::vector<Virtin
   // loads — and therefore the modeled makespan — are deterministic even on
   // an oversubscribed host where the OS schedules lanes unevenly.
   auto lane_body = [&](size_t lane) {
+    Pool::BindLane(static_cast<uint32_t>(lane));
     uint64_t busy = 0;
     for (size_t i = lane; i < specs.size(); i += lanes) {
       outcomes[i] = runtime->Invoke(specs[i]);

@@ -108,6 +108,18 @@ struct ExecutorOptions {
   // (kQuotaExceeded), and a block_when_full waiter whose key filled up
   // while it was parked for global space is rejected at wake.
   size_t key_quota = 0;
+  // Tiered governance: per-key overrides of key_quota.  A key present here
+  // uses its override (0 = explicitly unlimited — a premium tier can opt a
+  // key out of the default cap); absent keys fall back to key_quota.  With a
+  // few tier-default entries (premium/standard/free) this turns the single
+  // global cap into a three-tier discipline (the fig16 setup).
+  std::map<std::string, size_t> key_quota_overrides = {};
+
+  // Effective quota for `key` (0 = unlimited) after override resolution.
+  size_t QuotaFor(const std::string& key) const {
+    auto it = key_quota_overrides.find(key);
+    return it != key_quota_overrides.end() ? it->second : key_quota;
+  }
   // Weighted dequeue: under contention (both classes queued), one batch job
   // is dequeued per `batch_weight` dequeues; the rest are latency-class.
   // <= 0 disables class priority: strict FIFO by submission order.  Values
@@ -217,7 +229,7 @@ class Executor {
   // Picks the class queue the next dequeue should serve (mu_ held; at least
   // one queue non-empty).
   size_t PickClass();
-  void WorkerLoop();
+  void WorkerLoop(uint32_t worker_index);
 
   size_t TotalQueuedLocked() const { return queues_[0].size() + queues_[1].size(); }
 

@@ -1,0 +1,121 @@
+// Tagged-pointer Treiber stack — the lock-free free-list backing the pool's
+// shell fast path.
+//
+// A Treiber stack is the minimal lock-free LIFO: push CASes a new head whose
+// `next` is the old head; pop CASes the head to `head->next`.  The classic
+// hazard is ABA: thread A reads head == X and next == Y, stalls; other
+// threads pop X, pop Y, and push X back; A's CAS (X -> Y) then *succeeds*
+// even though Y left the stack — corrupting the list.  We close it the
+// EPYC-era way: the 64-bit head word packs a 48-bit node pointer with a
+// 16-bit tag that increments on every successful CAS, so a head that was
+// touched — even if the same node came back — no longer compares equal.
+// (User-space pointers on x86-64/aarch64 are canonical with the top 16 bits
+// zero, so the pack is lossless; a static_assert guards the assumption.)
+//
+// The second half of ABA safety is lifetime: `Pop` dereferences `top->next`
+// *before* winning the CAS, so `top` may already have been popped by someone
+// else at that moment.  That read must land on mapped memory.  The pool
+// therefore never frees a node while the stack can be probed — nodes are
+// arena-owned for the pool's lifetime and recycled through a spare-node
+// stack — and `next` is an atomic, so the stale read is a benign racy load
+// whose value is discarded when the tag check fails the CAS.
+//
+// `Node` must expose `std::atomic<Node*> next`.
+#ifndef SRC_WASP_FREELIST_H_
+#define SRC_WASP_FREELIST_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace wasp {
+
+template <typename Node>
+class TaggedStack {
+ public:
+  static constexpr int kPtrBits = 48;
+  static constexpr uint64_t kPtrMask = (uint64_t{1} << kPtrBits) - 1;
+
+  TaggedStack() = default;
+  TaggedStack(const TaggedStack&) = delete;
+  TaggedStack& operator=(const TaggedStack&) = delete;
+
+  void Push(Node* node) {
+    uint64_t head = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      node->next.store(UnpackPtr(head), std::memory_order_relaxed);
+      if (head_.compare_exchange_weak(head, Pack(node, Tag(head) + 1),
+                                      std::memory_order_release,
+                                      std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  Node* Pop() {
+    uint64_t head = head_.load(std::memory_order_acquire);
+    for (;;) {
+      Node* top = UnpackPtr(head);
+      if (top == nullptr) {
+        return nullptr;
+      }
+      // May read a stale next if `top` was concurrently popped; the tag
+      // mismatch then fails the CAS and we retry off the fresh head.
+      Node* next = top->next.load(std::memory_order_relaxed);
+      if (head_.compare_exchange_weak(head, Pack(next, Tag(head) + 1),
+                                      std::memory_order_acquire,
+                                      std::memory_order_acquire)) {
+        return top;
+      }
+    }
+  }
+
+  // --- ABA-regression hooks (tests) and diagnostic accessors. ---
+
+  // The raw packed head word (pointer | tag).  A snapshot taken here can be
+  // replayed through PopIfHeadIs to prove the tag defeats ABA.
+  uint64_t PackedHead() const { return head_.load(std::memory_order_acquire); }
+
+  // One CAS attempt against a previously observed packed head — exactly the
+  // compare a stalled Pop would issue.  Returns the popped node only when
+  // the head (pointer *and* tag) is still `expected`; any interleaved
+  // push/pop bumped the tag, so a stale snapshot must fail even if the same
+  // node is back on top (the ABA case).
+  Node* PopIfHeadIs(uint64_t expected) {
+    Node* top = UnpackPtr(expected);
+    if (top == nullptr) {
+      return nullptr;
+    }
+    Node* next = top->next.load(std::memory_order_relaxed);
+    uint64_t head = expected;
+    if (head_.compare_exchange_strong(head, Pack(next, Tag(expected) + 1),
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+      return top;
+    }
+    return nullptr;
+  }
+
+  // Top node without popping.  Only sound for diagnostic walks on a
+  // quiescent stack (concurrent pops can recycle the chain under the
+  // walker); the pool's counting accessors document the same caveat.
+  Node* UnsafeHead() const { return UnpackPtr(head_.load(std::memory_order_acquire)); }
+
+  static uint16_t Tag(uint64_t packed) { return static_cast<uint16_t>(packed >> kPtrBits); }
+
+  static Node* UnpackPtr(uint64_t packed) {
+    return reinterpret_cast<Node*>(packed & kPtrMask);
+  }
+
+  static uint64_t Pack(Node* node, uint16_t tag) {
+    const uint64_t bits = reinterpret_cast<uint64_t>(node);
+    return (bits & kPtrMask) | (static_cast<uint64_t>(tag) << kPtrBits);
+  }
+
+ private:
+  static_assert(sizeof(void*) == 8, "tagged pack assumes 64-bit pointers");
+  std::atomic<uint64_t> head_{0};
+};
+
+}  // namespace wasp
+
+#endif  // SRC_WASP_FREELIST_H_

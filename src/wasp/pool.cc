@@ -1,23 +1,83 @@
 #include "src/wasp/pool.h"
 
 #include <algorithm>
-#include <functional>
+#include <chrono>
 
+#include "src/base/clock.h"
 #include "src/base/log.h"
 #include "src/wasp/abi.h"
 
 namespace wasp {
+namespace {
+
+// Bounded mismatch tolerance of the lock-free PopMatch: how many wrong-size
+// (or wrong-generation) nodes a fast-path pop will set aside before giving
+// up on a stack.  A false miss just falls through to the slow path.
+constexpr int kPopScan = 8;
+// Safety bound for pop-all scans and diagnostic walks (a concurrent pusher
+// can extend a stack mid-scan; shells are finite, so this is never hit in
+// practice).
+constexpr int kScanGuard = 1 << 20;
+
+constexpr uint32_t kLaneUnbound = UINT32_MAX;
+thread_local uint32_t tls_lane = kLaneUnbound;
+// Lanes for threads that never called BindLane: process-unique, so two
+// unbound threads never collide on a lane slot by accident.
+std::atomic<uint32_t> g_next_auto_lane{0};
+
+}  // namespace
+
+void Pool::BindLane(uint32_t lane) { tls_lane = lane; }
+
+uint32_t Pool::CurrentLane() {
+  if (tls_lane == kLaneUnbound) {
+    tls_lane = g_next_auto_lane.fetch_add(1, std::memory_order_relaxed);
+  }
+  return tls_lane;
+}
+
+size_t Pool::LaneIndex() const { return CurrentLane() % lane_capacity_; }
+
+size_t Pool::HomeShard() const { return CurrentLane() % shards_.size(); }
+
+size_t Pool::NodeOfShard(size_t shard) const {
+  return shard * static_cast<size_t>(options_.numa_nodes) / shards_.size();
+}
 
 Pool::Pool(const PoolOptions& options)
     : options_([&] {
         PoolOptions o = options;
         o.shards = std::max(o.shards, 1);
         o.cleaners = std::max(o.cleaners, 1);
+        o.numa_nodes = std::clamp(o.numa_nodes, 1, o.shards);
+        if (o.lanes <= 0) {
+          o.lanes = std::max(16, 2 * o.shards);
+        }
         return o;
       }()) {
+  lane_capacity_ = static_cast<size_t>(options_.lanes);
   shards_.reserve(static_cast<size_t>(options_.shards));
   for (int i = 0; i < options_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+  }
+  lanes_ = std::make_unique<Lane[]>(lane_capacity_);
+  // Steal order per home shard: home, then the rest of the home's modeled
+  // NUMA node (ascending from home), then remote-node shards.
+  probe_order_.resize(shards_.size());
+  for (size_t h = 0; h < shards_.size(); ++h) {
+    auto& order = probe_order_[h];
+    order.reserve(shards_.size());
+    order.push_back(static_cast<uint32_t>(h));
+    const size_t home_node = NodeOfShard(h);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (size_t off = 1; off < shards_.size(); ++off) {
+        const size_t s = (h + off) % shards_.size();
+        const bool same_node = NodeOfShard(s) == home_node;
+        if (same_node == (pass == 0)) {
+          order.push_back(static_cast<uint32_t>(s));
+        }
+      }
+    }
   }
   if (options_.mode == CleanMode::kAsync) {
     cleaners_.reserve(static_cast<size_t>(options_.cleaners));
@@ -41,10 +101,39 @@ Pool::~Pool() {
       cleaner.join();
     }
   }
+  // Every parked shell — lane slot, free/affine/dirty stack — lives in a
+  // node that still owns its raw Vm pointer (UnwrapShell nulls it out when
+  // a shell leaves the pool).  The destructor runs exclusively, so a plain
+  // arena sweep reclaims them all.
+  for (auto& node : all_nodes_) {
+    delete node->vm;
+    node->vm = nullptr;
+  }
 }
 
-size_t Pool::HomeShard() const {
-  return std::hash<std::thread::id>{}(std::this_thread::get_id()) % shards_.size();
+Pool::ShellNode* Pool::WrapShell(std::unique_ptr<vkvm::Vm> vm, uint64_t generation,
+                                 uint64_t private_bytes, GenInfo* gen) {
+  ShellNode* node = spare_nodes_.Pop();
+  if (node == nullptr) {
+    auto owned = std::make_unique<ShellNode>();
+    node = owned.get();
+    std::lock_guard<std::mutex> lock(node_mu_);
+    all_nodes_.push_back(std::move(owned));
+  }
+  node->mem_size.store(vm->config().mem_size, std::memory_order_relaxed);
+  node->generation.store(generation, std::memory_order_relaxed);
+  node->private_bytes.store(private_bytes, std::memory_order_relaxed);
+  node->gen = gen;
+  node->vm = vm.release();
+  return node;
+}
+
+std::unique_ptr<vkvm::Vm> Pool::UnwrapShell(ShellNode* node) {
+  std::unique_ptr<vkvm::Vm> vm(node->vm);
+  node->vm = nullptr;
+  node->gen = nullptr;
+  spare_nodes_.Push(node);
+  return vm;
 }
 
 void Pool::CleanShell(vkvm::Vm* vm, bool charge_inline) {
@@ -67,109 +156,146 @@ void Pool::CleanShell(vkvm::Vm* vm, bool charge_inline) {
   stats_.bytes_zeroed.fetch_add(zeroed, std::memory_order_relaxed);
 }
 
-std::unique_ptr<vkvm::Vm> Pool::PopFree(Shard& shard, uint64_t mem_size) {
-  auto it = shard.free.find(mem_size);
-  if (it == shard.free.end() || it->second.empty()) {
-    return nullptr;
+Pool::ShellNode* Pool::PopMatch(TaggedStack<ShellNode>& stack, uint64_t mem_size,
+                                uint64_t generation, bool match_generation) {
+  ShellNode* mismatched[kPopScan];
+  int n = 0;
+  ShellNode* found = nullptr;
+  while (n < kPopScan) {
+    ShellNode* node = stack.Pop();
+    if (node == nullptr) {
+      break;
+    }
+    const bool ok =
+        node->mem_size.load(std::memory_order_relaxed) == mem_size &&
+        (!match_generation ||
+         node->generation.load(std::memory_order_relaxed) == generation);
+    if (ok) {
+      found = node;
+      break;
+    }
+    mismatched[n++] = node;
   }
-  std::unique_ptr<vkvm::Vm> vm = std::move(it->second.back());
-  it->second.pop_back();
-  return vm;
+  for (int i = n; i-- > 0;) {
+    stack.Push(mismatched[i]);
+  }
+  return found;
 }
 
-std::unique_ptr<vkvm::Vm> Pool::PopAffine(Shard& shard, uint64_t generation,
-                                          uint64_t mem_size) {
-  auto it = shard.affine.find(generation);
-  if (it == shard.affine.end()) {
-    return nullptr;
-  }
-  auto& shells = it->second;
-  for (size_t i = shells.size(); i-- > 0;) {
-    if (shells[i].vm->config().mem_size != mem_size) {
-      continue;
+Pool::ShellNode* Pool::ScanMatch(TaggedStack<ShellNode>& stack, uint64_t mem_size,
+                                 uint64_t generation, bool match_generation) {
+  std::vector<ShellNode*> mismatched;
+  ShellNode* found = nullptr;
+  for (int guard = 0; guard < kScanGuard; ++guard) {
+    ShellNode* node = stack.Pop();
+    if (node == nullptr) {
+      break;
     }
-    AffineShell shell = std::move(shells[i]);
-    shells.erase(shells.begin() + static_cast<ptrdiff_t>(i));
-    if (shells.empty()) {
-      shard.affine.erase(it);
+    const bool ok =
+        node->mem_size.load(std::memory_order_relaxed) == mem_size &&
+        (!match_generation ||
+         node->generation.load(std::memory_order_relaxed) == generation);
+    if (ok) {
+      found = node;
+      break;
     }
-    NoteAffineRemoved(generation, shell.private_bytes);
-    return std::move(shell.vm);
+    mismatched.push_back(node);
   }
-  return nullptr;
+  for (auto it = mismatched.rbegin(); it != mismatched.rend(); ++it) {
+    stack.Push(*it);
+  }
+  return found;
 }
 
-std::unique_ptr<vkvm::Vm> Pool::PopAnyAffine(Shard& shard, uint64_t mem_size) {
-  for (auto it = shard.affine.begin(); it != shard.affine.end(); ++it) {
-    auto& shells = it->second;
-    for (size_t i = shells.size(); i-- > 0;) {
-      if (shells[i].vm->config().mem_size != mem_size) {
-        continue;
-      }
-      AffineShell shell = std::move(shells[i]);
-      const uint64_t generation = it->first;
-      shells.erase(shells.begin() + static_cast<ptrdiff_t>(i));
-      if (shells.empty()) {
-        shard.affine.erase(it);
-      }
-      NoteAffineRemoved(generation, shell.private_bytes);
-      return std::move(shell.vm);
-    }
+void Pool::ReinsertLaneClean(size_t lane, ShellNode* node) {
+  ShellNode* expected = nullptr;
+  if (lanes_[lane].clean.compare_exchange_strong(expected, node, std::memory_order_release,
+                                                 std::memory_order_relaxed)) {
+    return;
   }
-  return nullptr;
+  shards_[lane % shards_.size()]->free.Push(node);
 }
 
-bool Pool::TryNoteAffineParked(uint64_t generation, uint64_t shared_bytes,
-                               uint64_t private_bytes) {
-  {
-    std::lock_guard<std::mutex> lock(gen_mu_);
-    if (retired_generations_.count(generation) > 0) {
-      return false;  // dead generation: parking it would strand the memory
-    }
-    GenInfo& info = generations_[generation];
-    // Park-time LRU: every affine hit parks the shell right back after its
-    // run, so refreshing the tick on park tracks use recency without a
-    // second bookkeeping call on the acquire path.
-    info.last_use_tick = use_tick_.fetch_add(1, std::memory_order_relaxed) + 1;
-    ++info.parked_shells;
-    info.private_bytes += private_bytes;
-    uint64_t charged = private_bytes;
-    if (info.shared_bytes == 0 && shared_bytes != 0) {
-      // First shell of the generation (or first to declare a shared chain):
-      // charge the extent chain once.  Every park of one generation passes
-      // the same chain size (it is a property of the snapshot).
-      info.shared_bytes = shared_bytes;
-      charged += shared_bytes;
-      stats_.affine_shared_bytes.fetch_add(shared_bytes, std::memory_order_relaxed);
-    }
-    // Gauge updates stay inside gen_mu_: affine_accounting() reads the
-    // per-generation rows and the gauge under the same lock, so the
-    // conservation invariant (sum == gauge) holds at every observation.
-    stats_.affine_private_bytes.fetch_add(private_bytes, std::memory_order_relaxed);
-    stats_.affine_resident_bytes.fetch_add(charged, std::memory_order_relaxed);
+void Pool::ReinsertLaneAffine(size_t lane, ShellNode* node) {
+  ShellNode* expected = nullptr;
+  if (lanes_[lane].affine.compare_exchange_strong(expected, node, std::memory_order_release,
+                                                  std::memory_order_relaxed)) {
+    return;
   }
+  shards_[lane % shards_.size()]->affine.Push(node);
+}
+
+Pool::GenInfo* Pool::FindGen(uint64_t generation) const {
+  std::shared_lock<std::shared_mutex> lock(gen_mu_);
+  auto it = generations_.find(generation);
+  return it == generations_.end() ? nullptr : it->second.get();
+}
+
+Pool::GenInfo* Pool::FindOrCreateGen(uint64_t generation) {
+  if (GenInfo* gen = FindGen(generation)) {
+    return gen;
+  }
+  std::unique_lock<std::shared_mutex> lock(gen_mu_);
+  std::unique_ptr<GenInfo>& slot = generations_[generation];
+  if (slot == nullptr) {
+    slot = std::make_unique<GenInfo>();
+    slot->generation = generation;
+  }
+  return slot.get();
+}
+
+bool Pool::TryChargeAffine(GenInfo* gen, uint64_t shared_bytes, uint64_t private_bytes) {
+  if (gen->retired.load(std::memory_order_acquire)) {
+    return false;  // dead generation: parking it would strand the memory
+  }
+  // Park-time LRU: every affine hit parks the shell right back after its
+  // run, so refreshing the tick on park tracks use recency without a second
+  // bookkeeping call on the acquire path.
+  gen->last_use_tick.store(use_tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+                           std::memory_order_relaxed);
+  if (shared_bytes != 0) {
+    // Declare the chain size before the parked-shell transition below so a
+    // 0->1 charge always reads a declared value.  Every park of one
+    // generation passes the same chain size (a property of the snapshot),
+    // which is what lets the 1->0 release below pair with it exactly.
+    uint64_t expected = 0;
+    gen->shared_bytes.compare_exchange_strong(expected, shared_bytes,
+                                              std::memory_order_relaxed,
+                                              std::memory_order_relaxed);
+  }
+  gen->private_bytes.fetch_add(private_bytes, std::memory_order_relaxed);
+  stats_.affine_private_bytes.fetch_add(private_bytes, std::memory_order_relaxed);
+  uint64_t charged = private_bytes;
+  if (gen->parked_shells.fetch_add(1, std::memory_order_acq_rel) == 0) {
+    // First shell of the generation in: charge the extent chain once.  The
+    // 0->1 and 1->0 transitions of the counter strictly alternate, so this
+    // charge pairs with exactly one release.
+    const uint64_t sb = gen->shared_bytes.load(std::memory_order_relaxed);
+    if (sb != 0) {
+      stats_.affine_shared_bytes.fetch_add(sb, std::memory_order_relaxed);
+      charged += sb;
+    }
+  }
+  stats_.affine_resident_bytes.fetch_add(charged, std::memory_order_relaxed);
   affine_count_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
-void Pool::NoteAffineRemoved(uint64_t generation, uint64_t private_bytes) {
+void Pool::ReleaseAffineCharge(GenInfo* gen, uint64_t private_bytes) {
   affine_count_.fetch_sub(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(gen_mu_);
+  gen->private_bytes.fetch_sub(private_bytes, std::memory_order_relaxed);
+  stats_.affine_private_bytes.fetch_sub(private_bytes, std::memory_order_relaxed);
   uint64_t released = private_bytes;
-  auto it = generations_.find(generation);
-  if (it != generations_.end()) {
-    it->second.private_bytes -= private_bytes;
-    if (--it->second.parked_shells <= 0) {
-      // Last shell out releases the generation's shared charge: the extent
-      // chain may live on (snapshot store, in-flight restores hold refs),
-      // but nothing is parked against it any more.
-      released += it->second.shared_bytes;
-      stats_.affine_shared_bytes.fetch_sub(it->second.shared_bytes,
-                                           std::memory_order_relaxed);
-      generations_.erase(it);
+  if (gen->parked_shells.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last shell out releases the generation's shared charge: the extent
+    // chain may live on (snapshot store, in-flight restores hold refs), but
+    // nothing is parked against it any more.
+    const uint64_t sb = gen->shared_bytes.load(std::memory_order_relaxed);
+    if (sb != 0) {
+      stats_.affine_shared_bytes.fetch_sub(sb, std::memory_order_relaxed);
+      released += sb;
     }
   }
-  stats_.affine_private_bytes.fetch_sub(private_bytes, std::memory_order_relaxed);
   stats_.affine_resident_bytes.fetch_sub(released, std::memory_order_relaxed);
 }
 
@@ -181,21 +307,81 @@ void Pool::Dispose(std::unique_ptr<vkvm::Vm> vm, size_t shard) {
       // No crew to hand it to; clean here but off the modeled critical path
       // (eviction/retirement is maintenance, not an acquire or release).
       CleanShell(vm.get(), /*charge_inline=*/false);
-      ParkClean(std::move(vm), shard);
+      ParkClean(std::move(vm), shard, /*try_lane=*/false);
       return;
     case CleanMode::kAsync: {
-      {
-        std::lock_guard<std::mutex> lock(shards_[shard]->mu);
-        shards_[shard]->dirty.push_back(std::move(vm));
-        dirty_count_.fetch_add(1);
-      }
-      {
-        std::lock_guard<std::mutex> lock(cleaner_mu_);
-      }
+      ShellNode* node = WrapShell(std::move(vm), 0, 0, nullptr);
+      // Count before push: DrainCleaner must never observe dirty == 0 &&
+      // in_flight == 0 while a node is physically queued.
+      dirty_count_.fetch_add(1);
+      shards_[shard]->dirty.Push(node);
       cleaner_cv_.notify_one();
       return;
     }
   }
+}
+
+std::vector<std::pair<Pool::ShellNode*, size_t>> Pool::TakeAffineNodes(uint64_t generation,
+                                                                       size_t max_take) {
+  std::vector<std::pair<ShellNode*, size_t>> taken;
+  for (size_t s = 0; s < shards_.size() && taken.size() < max_take; ++s) {
+    Shard& shard = *shards_[s];
+    // The shard mutex serializes whole-stack sweeps against each other;
+    // fast-path pushers/poppers proceed lock-free underneath.
+    std::lock_guard<std::mutex> lock(shard.mu);
+    std::vector<ShellNode*> keep;
+    for (int guard = 0; guard < kScanGuard && taken.size() < max_take; ++guard) {
+      ShellNode* node = shard.affine.Pop();
+      if (node == nullptr) {
+        break;
+      }
+      if (node->generation.load(std::memory_order_relaxed) == generation) {
+        taken.emplace_back(node, s);
+      } else {
+        keep.push_back(node);
+      }
+    }
+    for (auto it = keep.rbegin(); it != keep.rend(); ++it) {
+      shard.affine.Push(*it);
+    }
+  }
+  for (size_t l = 0; l < lane_capacity_ && taken.size() < max_take; ++l) {
+    ShellNode* node = lanes_[l].affine.exchange(nullptr, std::memory_order_acq_rel);
+    if (node == nullptr) {
+      continue;
+    }
+    if (node->generation.load(std::memory_order_relaxed) == generation) {
+      taken.emplace_back(node, l % shards_.size());
+    } else {
+      ReinsertLaneAffine(l, node);
+    }
+  }
+  return taken;
+}
+
+void Pool::RetireSweep(GenInfo* gen) {
+  auto victims = TakeAffineNodes(gen->generation, SIZE_MAX);
+  for (auto& [node, shard] : victims) {
+    ReleaseAffineCharge(gen, node->private_bytes.load(std::memory_order_relaxed));
+    stats_.affine_retired.fetch_add(1, std::memory_order_relaxed);
+    stats_.affine_reclaims.fetch_add(1, std::memory_order_relaxed);
+    Dispose(UnwrapShell(node), shard);
+  }
+}
+
+void Pool::RetireGeneration(uint64_t generation) {
+  if (generation == 0) {
+    return;
+  }
+  // Mark the generation dead *before* sweeping.  The park path pushes its
+  // node and then re-checks the flag (both sides fenced seq_cst, the Dekker
+  // pattern): either this sweep sees the node, or the parker sees the flag
+  // and re-runs the sweep itself — a dead generation can never re-strand
+  // memory.
+  GenInfo* gen = FindOrCreateGen(generation);
+  gen->retired.store(true, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  RetireSweep(gen);
 }
 
 void Pool::EnforceAffineBudget() {
@@ -209,128 +395,221 @@ void Pool::EnforceAffineBudget() {
         options_.affine_budget_bytes) {
       return;
     }
-    // Least-recently-used generation with parked shells.
-    uint64_t victim = 0;
+    // Least-recently-used live generation with parked shells.
+    GenInfo* victim = nullptr;
     {
-      std::lock_guard<std::mutex> lock(gen_mu_);
+      std::shared_lock<std::shared_mutex> lock(gen_mu_);
       uint64_t best_tick = UINT64_MAX;
       for (const auto& [generation, info] : generations_) {
-        if (info.parked_shells > 0 && info.last_use_tick < best_tick) {
-          best_tick = info.last_use_tick;
-          victim = generation;
+        const uint64_t tick = info->last_use_tick.load(std::memory_order_relaxed);
+        if (info->parked_shells.load(std::memory_order_relaxed) > 0 &&
+            !info->retired.load(std::memory_order_relaxed) && tick < best_tick) {
+          best_tick = tick;
+          victim = info.get();
         }
       }
     }
-    if (victim == 0) {
+    if (victim == nullptr) {
       return;  // nothing parked any more (raced with acquires)
     }
-    std::unique_ptr<vkvm::Vm> vm;
-    size_t source = 0;
-    for (size_t i = 0; i < shards_.size() && vm == nullptr; ++i) {
-      Shard& shard = *shards_[i];
-      std::lock_guard<std::mutex> lock(shard.mu);
-      auto it = shard.affine.find(victim);
-      if (it == shard.affine.end() || it->second.empty()) {
-        continue;
-      }
-      AffineShell shell = std::move(it->second.back());
-      it->second.pop_back();
-      if (it->second.empty()) {
-        shard.affine.erase(it);
-      }
-      NoteAffineRemoved(victim, shell.private_bytes);
-      vm = std::move(shell.vm);
-      source = i;
-    }
-    if (vm == nullptr) {
+    auto taken = TakeAffineNodes(victim->generation, 1);
+    if (taken.empty()) {
       continue;  // the victim's shells were acquired mid-sweep; re-pick
     }
+    auto& [node, shard] = taken.front();
+    ReleaseAffineCharge(victim, node->private_bytes.load(std::memory_order_relaxed));
     stats_.affine_evictions.fetch_add(1, std::memory_order_relaxed);
     stats_.affine_reclaims.fetch_add(1, std::memory_order_relaxed);
-    Dispose(std::move(vm), source);
+    Dispose(UnwrapShell(node), shard);
   }
 }
 
-void Pool::RetireGeneration(uint64_t generation) {
-  if (generation == 0) {
-    return;
-  }
-  // Mark the generation dead *before* sweeping: any racing release that
-  // parks after the sweep passed its shard must observe the mark (its park
-  // check runs under the shard lock, after this insert) and divert.
-  {
-    std::lock_guard<std::mutex> lock(gen_mu_);
-    retired_generations_.insert(generation);
-  }
-  // Sweep every shard first, then dispose outside the shard locks (cleaning
-  // megabytes under a stripe lock would convoy concurrent acquirers).
-  std::vector<std::pair<std::unique_ptr<vkvm::Vm>, size_t>> victims;
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    Shard& shard = *shards_[i];
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.affine.find(generation);
-    if (it == shard.affine.end()) {
-      continue;
+std::unique_ptr<vkvm::Vm> Pool::TryFastClean(const vkvm::VmConfig& config, bool* from_pool) {
+  // Tier 1: the caller's lane slot (single atomic exchange; pages still
+  // warm in this lane's cache/TLB).
+  ShellNode* node = lanes_[LaneIndex()].clean.exchange(nullptr, std::memory_order_acq_rel);
+  if (node != nullptr) {
+    if (node->mem_size.load(std::memory_order_relaxed) == config.mem_size) {
+      stats_.pool_hits.fetch_add(1, std::memory_order_relaxed);
+      stats_.lane_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      if (from_pool != nullptr) {
+        *from_pool = true;
+      }
+      return UnwrapShell(node);
     }
-    for (AffineShell& shell : it->second) {
-      NoteAffineRemoved(generation, shell.private_bytes);
-      victims.emplace_back(std::move(shell.vm), i);
-    }
-    shard.affine.erase(it);
+    // Wrong size: spill to the home stack rather than re-occupying the slot.
+    shards_[HomeShard()]->free.Push(node);
   }
-  for (auto& [vm, shard] : victims) {
-    stats_.affine_retired.fetch_add(1, std::memory_order_relaxed);
-    stats_.affine_reclaims.fetch_add(1, std::memory_order_relaxed);
-    Dispose(std::move(vm), shard);
-  }
-}
-
-std::unique_ptr<vkvm::Vm> Pool::AcquireClean(const vkvm::VmConfig& config, bool* from_pool) {
+  // Tier 2: home shard's stack, then NUMA-ordered sibling steal.
   const size_t home = HomeShard();
-  // Opportunistic pass: the home shard blocks (it is this thread's own
-  // stripe), sibling probes use try_lock so a contended sibling is skipped
-  // instead of convoying the caller behind its lock holder.
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    Shard& shard = *shards_[(home + i) % shards_.size()];
-    std::unique_lock<std::mutex> lock(shard.mu, std::defer_lock);
-    if (i == 0) {
-      lock.lock();
-    } else if (!lock.try_lock()) {
+  const size_t home_node = NodeOfShard(home);
+  for (uint32_t s : probe_order_[home]) {
+    node = PopMatch(shards_[s]->free, config.mem_size, 0, /*match_generation=*/false);
+    if (node == nullptr) {
       continue;
     }
-    if (auto vm = PopFree(shard, config.mem_size)) {
+    stats_.pool_hits.fetch_add(1, std::memory_order_relaxed);
+    stats_.freelist_hits.fetch_add(1, std::memory_order_relaxed);
+    if (s != home) {
+      stats_.cross_shard_steals.fetch_add(1, std::memory_order_relaxed);
+      if (NodeOfShard(s) != home_node) {
+        stats_.cross_node_steals.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (from_pool != nullptr) {
+      *from_pool = true;
+    }
+    return UnwrapShell(node);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<vkvm::Vm> Pool::TryFastAffine(const vkvm::VmConfig& config,
+                                              uint64_t generation, bool* from_pool) {
+  const size_t lane = LaneIndex();
+  ShellNode* node = lanes_[lane].affine.exchange(nullptr, std::memory_order_acq_rel);
+  if (node != nullptr) {
+    if (node->generation.load(std::memory_order_relaxed) == generation &&
+        node->mem_size.load(std::memory_order_relaxed) == config.mem_size) {
+      ReleaseAffineCharge(node->gen, node->private_bytes.load(std::memory_order_relaxed));
       stats_.pool_hits.fetch_add(1, std::memory_order_relaxed);
+      stats_.lane_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      stats_.affine_hits.fetch_add(1, std::memory_order_relaxed);
       if (from_pool != nullptr) {
         *from_pool = true;
       }
-      return vm;
+      return UnwrapShell(node);
     }
+    ReinsertLaneAffine(lane, node);
   }
-  // Blocking fallback: before paying vm_create, make sure no shard actually
-  // holds a free shell (a try_lock skip above is not proof of emptiness),
-  // then reclaim a snapshot-affine shell — it is dirty, so clean it first.
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    Shard& shard = *shards_[(home + i) % shards_.size()];
-    std::lock_guard<std::mutex> lock(shard.mu);
-    if (auto vm = PopFree(shard, config.mem_size)) {
+  const size_t home = HomeShard();
+  const size_t home_node = NodeOfShard(home);
+  for (uint32_t s : probe_order_[home]) {
+    node = PopMatch(shards_[s]->affine, config.mem_size, generation,
+                    /*match_generation=*/true);
+    if (node == nullptr) {
+      continue;
+    }
+    ReleaseAffineCharge(node->gen, node->private_bytes.load(std::memory_order_relaxed));
+    stats_.pool_hits.fetch_add(1, std::memory_order_relaxed);
+    stats_.freelist_hits.fetch_add(1, std::memory_order_relaxed);
+    stats_.affine_hits.fetch_add(1, std::memory_order_relaxed);
+    if (s != home) {
+      stats_.cross_shard_steals.fetch_add(1, std::memory_order_relaxed);
+      if (NodeOfShard(s) != home_node) {
+        stats_.cross_node_steals.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (from_pool != nullptr) {
+      *from_pool = true;
+    }
+    return UnwrapShell(node);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<vkvm::Vm> Pool::AcquireSlow(const vkvm::VmConfig& config,
+                                            uint64_t generation, bool* affine_hit,
+                                            bool* from_pool) {
+  stats_.slow_path_acquires.fetch_add(1, std::memory_order_relaxed);
+  const size_t home = HomeShard();
+  // Exact-generation affine sweep first: a bounded fast-path probe can
+  // false-miss a shell buried under other generations' nodes, and serving
+  // the resident snapshot beats serving a clean shell plus a full restore.
+  if (generation != 0 && affine_count_.load(std::memory_order_relaxed) > 0) {
+    for (uint32_t s : probe_order_[home]) {
+      Shard& shard = *shards_[s];
+      ShellNode* node;
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        node = ScanMatch(shard.affine, config.mem_size, generation,
+                         /*match_generation=*/true);
+      }
+      if (node == nullptr) {
+        continue;
+      }
+      ReleaseAffineCharge(node->gen, node->private_bytes.load(std::memory_order_relaxed));
       stats_.pool_hits.fetch_add(1, std::memory_order_relaxed);
+      stats_.affine_hits.fetch_add(1, std::memory_order_relaxed);
+      if (affine_hit != nullptr) {
+        *affine_hit = true;
+      }
       if (from_pool != nullptr) {
         *from_pool = true;
       }
-      return vm;
+      return UnwrapShell(node);
+    }
+    for (size_t l = 0; l < lane_capacity_; ++l) {
+      ShellNode* node = lanes_[l].affine.exchange(nullptr, std::memory_order_acq_rel);
+      if (node == nullptr) {
+        continue;
+      }
+      if (node->generation.load(std::memory_order_relaxed) == generation &&
+          node->mem_size.load(std::memory_order_relaxed) == config.mem_size) {
+        ReleaseAffineCharge(node->gen, node->private_bytes.load(std::memory_order_relaxed));
+        stats_.pool_hits.fetch_add(1, std::memory_order_relaxed);
+        stats_.affine_hits.fetch_add(1, std::memory_order_relaxed);
+        if (affine_hit != nullptr) {
+          *affine_hit = true;
+        }
+        if (from_pool != nullptr) {
+          *from_pool = true;
+        }
+        return UnwrapShell(node);
+      }
+      ReinsertLaneAffine(l, node);
     }
   }
-  for (size_t i = 0;
-       affine_count_.load(std::memory_order_relaxed) > 0 && i < shards_.size(); ++i) {
-    std::unique_ptr<vkvm::Vm> vm;
+  // Exhaustive clean sweep: before paying vm_create, make sure no stack or
+  // lane slot actually holds a free shell (a bounded fast-path miss is not
+  // proof of emptiness).
+  for (uint32_t s : probe_order_[home]) {
+    Shard& shard = *shards_[s];
+    ShellNode* node;
     {
-      Shard& shard = *shards_[(home + i) % shards_.size()];
       std::lock_guard<std::mutex> lock(shard.mu);
-      vm = PopAnyAffine(shard, config.mem_size);
+      node = ScanMatch(shard.free, config.mem_size, 0, /*match_generation=*/false);
     }
-    if (vm != nullptr) {
+    if (node == nullptr) {
+      continue;
+    }
+    stats_.pool_hits.fetch_add(1, std::memory_order_relaxed);
+    if (from_pool != nullptr) {
+      *from_pool = true;
+    }
+    return UnwrapShell(node);
+  }
+  for (size_t l = 0; l < lane_capacity_; ++l) {
+    ShellNode* node = lanes_[l].clean.exchange(nullptr, std::memory_order_acq_rel);
+    if (node == nullptr) {
+      continue;
+    }
+    if (node->mem_size.load(std::memory_order_relaxed) == config.mem_size) {
+      stats_.pool_hits.fetch_add(1, std::memory_order_relaxed);
+      if (from_pool != nullptr) {
+        *from_pool = true;
+      }
+      return UnwrapShell(node);
+    }
+    ReinsertLaneClean(l, node);
+  }
+  // Reclaim (clean) an already-parked affine shell of any generation — it
+  // is dirty, so clean it first — before creating from scratch.
+  if (affine_count_.load(std::memory_order_relaxed) > 0) {
+    for (uint32_t s : probe_order_[home]) {
+      Shard& shard = *shards_[s];
+      ShellNode* node;
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        node = ScanMatch(shard.affine, config.mem_size, 0, /*match_generation=*/false);
+      }
+      if (node == nullptr) {
+        continue;
+      }
+      ReleaseAffineCharge(node->gen, node->private_bytes.load(std::memory_order_relaxed));
+      auto vm = UnwrapShell(node);
       // Clean outside the shard lock: zeroing megabytes under a stripe lock
-      // would convoy every other thread hashing to this shard.
+      // would convoy concurrent sweepers.
       CleanShell(vm.get(), /*charge_inline=*/true);
       stats_.pool_hits.fetch_add(1, std::memory_order_relaxed);
       stats_.affine_reclaims.fetch_add(1, std::memory_order_relaxed);
@@ -338,6 +617,24 @@ std::unique_ptr<vkvm::Vm> Pool::AcquireClean(const vkvm::VmConfig& config, bool*
         *from_pool = true;
       }
       return vm;
+    }
+    for (size_t l = 0; l < lane_capacity_; ++l) {
+      ShellNode* node = lanes_[l].affine.exchange(nullptr, std::memory_order_acq_rel);
+      if (node == nullptr) {
+        continue;
+      }
+      if (node->mem_size.load(std::memory_order_relaxed) == config.mem_size) {
+        ReleaseAffineCharge(node->gen, node->private_bytes.load(std::memory_order_relaxed));
+        auto vm = UnwrapShell(node);
+        CleanShell(vm.get(), /*charge_inline=*/true);
+        stats_.pool_hits.fetch_add(1, std::memory_order_relaxed);
+        stats_.affine_reclaims.fetch_add(1, std::memory_order_relaxed);
+        if (from_pool != nullptr) {
+          *from_pool = true;
+        }
+        return vm;
+      }
+      ReinsertLaneAffine(l, node);
     }
   }
   stats_.fresh_creates.fetch_add(1, std::memory_order_relaxed);
@@ -349,51 +646,50 @@ std::unique_ptr<vkvm::Vm> Pool::AcquireClean(const vkvm::VmConfig& config, bool*
 
 std::unique_ptr<vkvm::Vm> Pool::Acquire(const vkvm::VmConfig& config, bool* from_pool) {
   stats_.acquires.fetch_add(1, std::memory_order_relaxed);
-  return AcquireClean(config, from_pool);
+  const uint64_t t0 = vbase::NowNanos();
+  auto vm = TryFastClean(config, from_pool);
+  if (vm == nullptr) {
+    vm = AcquireSlow(config, /*generation=*/0, nullptr, from_pool);
+  }
+  RecordAcquireNs(vbase::NowNanos() - t0);
+  return vm;
 }
 
 std::unique_ptr<vkvm::Vm> Pool::AcquireAffine(const vkvm::VmConfig& config,
                                               uint64_t generation, bool* affine_hit,
                                               bool* from_pool) {
   stats_.acquires.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t t0 = vbase::NowNanos();
   if (affine_hit != nullptr) {
     *affine_hit = false;
   }
+  std::unique_ptr<vkvm::Vm> vm;
   if (generation != 0 && affine_count_.load(std::memory_order_relaxed) > 0) {
-    const size_t home = HomeShard();
-    // Same two-pass shape as the clean path: home shard blocking + sibling
-    // try_lock probes, then one blocking sweep so a momentarily contended
-    // sibling cannot force a full restore while the right shell exists.
-    for (int pass = 0; pass < 2; ++pass) {
-      for (size_t i = 0; i < shards_.size(); ++i) {
-        Shard& shard = *shards_[(home + i) % shards_.size()];
-        std::unique_lock<std::mutex> lock(shard.mu, std::defer_lock);
-        if (pass == 1 || i == 0) {
-          lock.lock();
-        } else if (!lock.try_lock()) {
-          continue;
-        }
-        if (auto vm = PopAffine(shard, generation, config.mem_size)) {
-          stats_.pool_hits.fetch_add(1, std::memory_order_relaxed);
-          stats_.affine_hits.fetch_add(1, std::memory_order_relaxed);
-          if (affine_hit != nullptr) {
-            *affine_hit = true;
-          }
-          if (from_pool != nullptr) {
-            *from_pool = true;
-          }
-          return vm;
-        }
-      }
+    vm = TryFastAffine(config, generation, from_pool);
+    if (vm != nullptr && affine_hit != nullptr) {
+      *affine_hit = true;
     }
   }
-  return AcquireClean(config, from_pool);
+  if (vm == nullptr) {
+    vm = TryFastClean(config, from_pool);
+  }
+  if (vm == nullptr) {
+    vm = AcquireSlow(config, generation, affine_hit, from_pool);
+  }
+  RecordAcquireNs(vbase::NowNanos() - t0);
+  return vm;
 }
 
-void Pool::ParkClean(std::unique_ptr<vkvm::Vm> vm, size_t shard) {
-  const uint64_t mem_size = vm->config().mem_size;
-  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
-  shards_[shard]->free[mem_size].push_back(std::move(vm));
+void Pool::ParkClean(std::unique_ptr<vkvm::Vm> vm, size_t shard, bool try_lane) {
+  ShellNode* node = WrapShell(std::move(vm), 0, 0, nullptr);
+  if (try_lane) {
+    ShellNode* expected = nullptr;
+    if (lanes_[LaneIndex()].clean.compare_exchange_strong(
+            expected, node, std::memory_order_release, std::memory_order_relaxed)) {
+      return;
+    }
+  }
+  shards_[shard]->free.Push(node);
 }
 
 void Pool::Release(std::unique_ptr<vkvm::Vm> vm) {
@@ -404,22 +700,16 @@ void Pool::Release(std::unique_ptr<vkvm::Vm> vm) {
       return;
     case CleanMode::kSync: {
       CleanShell(vm.get(), /*charge_inline=*/true);
-      ParkClean(std::move(vm), HomeShard());
+      ParkClean(std::move(vm), HomeShard(), /*try_lane=*/true);
       return;
     }
     case CleanMode::kAsync: {
-      const size_t home = HomeShard();
-      {
-        // Push and count under the same shard lock as PopDirty's pop and
-        // decrement: the counter can then never go negative, which is what
-        // keeps DrainCleaner's (dirty == 0 && in_flight == 0) test sound.
-        std::lock_guard<std::mutex> lock(shards_[home]->mu);
-        shards_[home]->dirty.push_back(std::move(vm));
-        dirty_count_.fetch_add(1);
-      }
-      {
-        std::lock_guard<std::mutex> lock(cleaner_mu_);
-      }
+      ShellNode* node = WrapShell(std::move(vm), 0, 0, nullptr);
+      // Count before push (see Dispose) so DrainCleaner can never observe a
+      // false drain; the notify is mutex-free — cleaners wait with a
+      // timeout as the belt against the notify racing a wait entry.
+      dirty_count_.fetch_add(1);
+      shards_[HomeShard()]->dirty.Push(node);
       cleaner_cv_.notify_one();
       return;
     }
@@ -446,29 +736,34 @@ void Pool::ReleaseAffine(std::unique_ptr<vkvm::Vm> vm, uint64_t generation,
   const uint64_t private_bytes = vm->memory().HasCowBase()
                                      ? vm->memory().CowPrivateBytes()
                                      : vm->config().mem_size;
-  const size_t home = HomeShard();
-  bool parked = false;
-  {
-    std::lock_guard<std::mutex> lock(shards_[home]->mu);
-    if (TryNoteAffineParked(generation, shared_bytes, private_bytes)) {
-      shards_[home]->affine[generation].push_back(
-          AffineShell{std::move(vm), private_bytes});
-      parked = true;
-    }
-  }
-  if (!parked) {
-    // The generation was retired while this invocation was in flight
-    // (RetireGeneration's sweep ran before this release): divert the shell
-    // to the cleaning path — a dead generation must never re-park.
+  GenInfo* gen = FindOrCreateGen(generation);
+  if (!TryChargeAffine(gen, shared_bytes, private_bytes)) {
+    // The generation was retired while this invocation was in flight:
+    // divert the shell to the cleaning path — a dead generation must never
+    // re-park.
     stats_.affine_retired.fetch_add(1, std::memory_order_relaxed);
     stats_.affine_reclaims.fetch_add(1, std::memory_order_relaxed);
-    Dispose(std::move(vm), home);
+    Dispose(std::move(vm), HomeShard());
     return;
+  }
+  ShellNode* node = WrapShell(std::move(vm), generation, private_bytes, gen);
+  const size_t lane = LaneIndex();
+  ShellNode* expected = nullptr;
+  if (!lanes_[lane].affine.compare_exchange_strong(expected, node, std::memory_order_release,
+                                                   std::memory_order_relaxed)) {
+    shards_[HomeShard()]->affine.Push(node);
   }
   stats_.affine_parks.fetch_add(1, std::memory_order_relaxed);
   stats_.delta_pages.fetch_add(delta_pages, std::memory_order_relaxed);
+  // RetireGeneration may have swept between the charge check and the push
+  // landing; re-check behind a seq_cst fence (Dekker with the retirer's
+  // flag-store/sweep) and run the sweep ourselves if so.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (gen->retired.load(std::memory_order_relaxed)) {
+    RetireSweep(gen);
+  }
   // The park may have pushed parked residency over budget; evict LRU
-  // generations (outside the shard lock) until it fits again.
+  // generations until it fits again.
   EnforceAffineBudget();
 }
 
@@ -476,47 +771,38 @@ std::unique_ptr<vkvm::Vm> Pool::StealParkedAffine(uint64_t generation) {
   if (generation == 0 || affine_count_.load(std::memory_order_relaxed) <= 0) {
     return nullptr;
   }
-  // Maintenance path (re-capture), not a hot acquire: plain blocking sweep
-  // over the shards is fine.
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    Shard& shard = *shards_[i];
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.affine.find(generation);
-    if (it == shard.affine.end() || it->second.empty()) {
-      continue;
-    }
-    AffineShell shell = std::move(it->second.back());
-    it->second.pop_back();
-    if (it->second.empty()) {
-      shard.affine.erase(it);
-    }
-    NoteAffineRemoved(generation, shell.private_bytes);
-    // Count like an affine acquire so acquire/release conservation holds
-    // (the re-capture path releases the shell back when it is done).
-    stats_.acquires.fetch_add(1, std::memory_order_relaxed);
-    stats_.pool_hits.fetch_add(1, std::memory_order_relaxed);
-    stats_.affine_hits.fetch_add(1, std::memory_order_relaxed);
-    return std::move(shell.vm);
+  GenInfo* gen = FindGen(generation);
+  if (gen == nullptr) {
+    return nullptr;
   }
-  return nullptr;
+  auto taken = TakeAffineNodes(generation, 1);
+  if (taken.empty()) {
+    return nullptr;
+  }
+  ShellNode* node = taken.front().first;
+  ReleaseAffineCharge(gen, node->private_bytes.load(std::memory_order_relaxed));
+  // Count like an affine acquire so acquire/release conservation holds (the
+  // re-capture path releases the shell back when it is done).
+  stats_.acquires.fetch_add(1, std::memory_order_relaxed);
+  stats_.pool_hits.fetch_add(1, std::memory_order_relaxed);
+  stats_.affine_hits.fetch_add(1, std::memory_order_relaxed);
+  stats_.freelist_hits.fetch_add(1, std::memory_order_relaxed);
+  return UnwrapShell(node);
 }
 
 std::unique_ptr<vkvm::Vm> Pool::PopDirty(size_t home, size_t* source_shard) {
   for (size_t i = 0; i < shards_.size(); ++i) {
     const size_t index = (home + i) % shards_.size();
-    Shard& shard = *shards_[index];
-    std::lock_guard<std::mutex> lock(shard.mu);
-    if (shard.dirty.empty()) {
+    ShellNode* node = shards_[index]->dirty.Pop();
+    if (node == nullptr) {
       continue;
     }
-    std::unique_ptr<vkvm::Vm> vm = std::move(shard.dirty.front());
-    shard.dirty.pop_front();
     // Order matters for DrainCleaner: raise in-flight before dropping the
     // dirty count so (dirty == 0 && in_flight == 0) implies truly drained.
     cleaning_in_flight_.fetch_add(1);
     dirty_count_.fetch_sub(1);
     *source_shard = index;
-    return vm;
+    return UnwrapShell(node);
   }
   return nullptr;
 }
@@ -530,17 +816,18 @@ void Pool::CleanerLoop(size_t home) {
         return;
       }
       std::unique_lock<std::mutex> lock(cleaner_mu_);
-      cleaner_cv_.wait(lock, [&] { return stop_.load() || dirty_count_.load() > 0; });
+      // Timed wait: the release path notifies without holding cleaner_mu_
+      // (it is lock-free), so a notify can race a wait entry and be missed;
+      // the timeout bounds that stall instead of a mutex closing it.
+      cleaner_cv_.wait_for(lock, std::chrono::milliseconds(1),
+                           [&] { return stop_.load() || dirty_count_.load() > 0; });
       continue;
     }
     CleanShell(vm.get(), /*charge_inline=*/false);
     // Park the clean shell back on the shard it was released to, preserving
     // the releasing thread's locality for its next acquire.
-    ParkClean(std::move(vm), source);
+    ParkClean(std::move(vm), source, /*try_lane=*/false);
     cleaning_in_flight_.fetch_sub(1);
-    {
-      std::lock_guard<std::mutex> lock(cleaner_mu_);
-    }
     drain_cv_.notify_all();
   }
 }
@@ -550,29 +837,66 @@ void Pool::DrainCleaner() {
     return;
   }
   std::unique_lock<std::mutex> lock(cleaner_mu_);
-  drain_cv_.wait(lock, [&] {
-    return dirty_count_.load() == 0 && cleaning_in_flight_.load() == 0;
-  });
+  while (!(dirty_count_.load() == 0 && cleaning_in_flight_.load() == 0)) {
+    // Timed wait for the same reason as the cleaners': the completion
+    // notify is sent without the mutex.
+    drain_cv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
 }
 
 void Pool::Prewarm(const vkvm::VmConfig& config, int count) {
-  // Create (and account-reset) every shell outside any lock, then insert
-  // round-robin so the warm set spreads across shards: one lock acquisition
-  // per shard instead of one per shell.
-  std::vector<std::unique_ptr<vkvm::Vm>> fresh;
-  fresh.reserve(static_cast<size_t>(std::max(count, 0)));
+  // Create (and account-reset) every shell outside any lock, then push
+  // round-robin onto the shards' lock-free free stacks so the warm set
+  // spreads evenly.
   for (int i = 0; i < count; ++i) {
     auto vm = vkvm::Vm::Create(config);
     vm->ResetAccounting();
-    fresh.push_back(std::move(vm));
+    ShellNode* node = WrapShell(std::move(vm), 0, 0, nullptr);
+    shards_[static_cast<size_t>(i) % shards_.size()]->free.Push(node);
   }
-  for (size_t s = 0; s < shards_.size() && s < fresh.size(); ++s) {
-    std::lock_guard<std::mutex> lock(shards_[s]->mu);
-    auto& slot = shards_[s]->free[config.mem_size];
-    for (size_t i = s; i < fresh.size(); i += shards_.size()) {
-      slot.push_back(std::move(fresh[i]));
+}
+
+void Pool::RecordAcquireNs(uint64_t ns) {
+  int bucket = 0;
+  if (ns > 0) {
+    bucket = 64 - __builtin_clzll(ns);  // bit_width: ns in [2^(b-1), 2^b)
+    bucket = std::min(bucket, kLatBuckets - 1);
+  }
+  lat_buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+AcquireLatency Pool::acquire_latency() const {
+  uint64_t counts[kLatBuckets];
+  uint64_t total = 0;
+  for (int i = 0; i < kLatBuckets; ++i) {
+    counts[i] = lat_buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  AcquireLatency out;
+  out.samples = total;
+  if (total == 0) {
+    return out;
+  }
+  // Bucket upper bounds as the reported value: pessimistic by at most 2x,
+  // monotone in the true percentile.
+  auto percentile = [&](double q) -> uint64_t {
+    const uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1)) + 1;
+    uint64_t cumulative = 0;
+    for (int i = 0; i < kLatBuckets; ++i) {
+      cumulative += counts[i];
+      if (cumulative >= rank) {
+        return i == 0 ? 0 : (uint64_t{1} << i);
+      }
     }
-  }
+    return uint64_t{1} << (kLatBuckets - 1);
+  };
+  out.p50_ns = percentile(0.50);
+  out.p99_ns = percentile(0.99);
+  out.p50_cycles =
+      static_cast<uint64_t>(static_cast<double>(out.p50_ns) * vbase::kReferenceGhz);
+  out.p99_cycles =
+      static_cast<uint64_t>(static_cast<double>(out.p99_ns) * vbase::kReferenceGhz);
+  return out;
 }
 
 PoolStats Pool::stats() const {
@@ -583,6 +907,11 @@ PoolStats Pool::stats() const {
   out.releases = stats_.releases.load(std::memory_order_relaxed);
   out.cleans = stats_.cleans.load(std::memory_order_relaxed);
   out.bytes_zeroed = stats_.bytes_zeroed.load(std::memory_order_relaxed);
+  out.lane_cache_hits = stats_.lane_cache_hits.load(std::memory_order_relaxed);
+  out.freelist_hits = stats_.freelist_hits.load(std::memory_order_relaxed);
+  out.slow_path_acquires = stats_.slow_path_acquires.load(std::memory_order_relaxed);
+  out.cross_shard_steals = stats_.cross_shard_steals.load(std::memory_order_relaxed);
+  out.cross_node_steals = stats_.cross_node_steals.load(std::memory_order_relaxed);
   out.affine_hits = stats_.affine_hits.load(std::memory_order_relaxed);
   out.affine_parks = stats_.affine_parks.load(std::memory_order_relaxed);
   out.affine_reclaims = stats_.affine_reclaims.load(std::memory_order_relaxed);
@@ -597,31 +926,53 @@ PoolStats Pool::stats() const {
 
 AffineAccounting Pool::affine_accounting() const {
   AffineAccounting out;
-  // One lock, one snapshot: the gauge and the per-generation rows are read
-  // under the same gen_mu_ every charge/release mutates them under, so
-  // sum(shared + private) == resident_bytes at *every* observation — no
-  // transient can be caught mid-update.
-  std::lock_guard<std::mutex> lock(gen_mu_);
-  out.resident_bytes = stats_.affine_resident_bytes.load(std::memory_order_relaxed);
+  std::shared_lock<std::shared_mutex> lock(gen_mu_);
   out.generations.reserve(generations_.size());
   for (const auto& [generation, info] : generations_) {
+    const int64_t parked = info->parked_shells.load(std::memory_order_relaxed);
+    const uint64_t private_bytes = info->private_bytes.load(std::memory_order_relaxed);
+    // The chain is charged while any shell is parked.
+    const uint64_t shared_charged =
+        parked > 0 ? info->shared_bytes.load(std::memory_order_relaxed) : 0;
+    if (parked <= 0 && private_bytes == 0) {
+      continue;  // drained row (generations are immortal; rows are not shown)
+    }
     AffineAccounting::Generation row;
     row.generation = generation;
-    row.shared_bytes = info.shared_bytes;
-    row.private_bytes = info.private_bytes;
-    row.parked_shells = info.parked_shells;
+    row.shared_bytes = shared_charged;
+    row.private_bytes = private_bytes;
+    row.parked_shells = parked;
     out.generations.push_back(row);
+    // resident_bytes is *derived* from the very rows reported, so the
+    // breakdown and the total can never disagree, even mid-race; it equals
+    // the affine_resident_bytes gauge whenever the pool is quiescent.
+    out.resident_bytes += shared_charged + private_bytes;
   }
   return out;
+}
+
+size_t Pool::CountStack(const TaggedStack<ShellNode>& stack, uint64_t mem_size,
+                        bool match_mem) const {
+  size_t n = 0;
+  int guard = kScanGuard;
+  for (ShellNode* node = stack.UnsafeHead(); node != nullptr && guard-- > 0;
+       node = node->next.load(std::memory_order_acquire)) {
+    if (!match_mem || node->mem_size.load(std::memory_order_relaxed) == mem_size) {
+      ++n;
+    }
+  }
+  return n;
 }
 
 size_t Pool::FreeShells(uint64_t mem_size) const {
   size_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    auto it = shard->free.find(mem_size);
-    if (it != shard->free.end()) {
-      n += it->second.size();
+    n += CountStack(shard->free, mem_size, /*match_mem=*/true);
+  }
+  for (size_t l = 0; l < lane_capacity_; ++l) {
+    ShellNode* node = lanes_[l].clean.load(std::memory_order_acquire);
+    if (node != nullptr && node->mem_size.load(std::memory_order_relaxed) == mem_size) {
+      ++n;
     }
   }
   return n;
@@ -630,41 +981,39 @@ size_t Pool::FreeShells(uint64_t mem_size) const {
 size_t Pool::TotalFreeShells() const {
   size_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    for (const auto& [size, shells] : shard->free) {
-      n += shells.size();
+    n += CountStack(shard->free, 0, /*match_mem=*/false);
+  }
+  for (size_t l = 0; l < lane_capacity_; ++l) {
+    if (lanes_[l].clean.load(std::memory_order_acquire) != nullptr) {
+      ++n;
     }
   }
   return n;
 }
 
 size_t Pool::AffineShells(uint64_t generation) const {
-  size_t n = 0;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    auto it = shard->affine.find(generation);
-    if (it != shard->affine.end()) {
-      n += it->second.size();
-    }
+  GenInfo* gen = FindGen(generation);
+  if (gen == nullptr) {
+    return 0;
   }
-  return n;
+  const int64_t parked = gen->parked_shells.load(std::memory_order_relaxed);
+  return parked > 0 ? static_cast<size_t>(parked) : 0;
 }
 
 size_t Pool::TotalAffineShells() const {
   size_t n = 0;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    for (const auto& [generation, shells] : shard->affine) {
-      n += shells.size();
+  std::shared_lock<std::shared_mutex> lock(gen_mu_);
+  for (const auto& [generation, info] : generations_) {
+    const int64_t parked = info->parked_shells.load(std::memory_order_relaxed);
+    if (parked > 0) {
+      n += static_cast<size_t>(parked);
     }
   }
   return n;
 }
 
 size_t Pool::FreeShellsInShard(size_t shard, uint64_t mem_size) const {
-  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
-  auto it = shards_[shard]->free.find(mem_size);
-  return it == shards_[shard]->free.end() ? 0 : it->second.size();
+  return CountStack(shards_[shard]->free, mem_size, /*match_mem=*/true);
 }
 
 }  // namespace wasp

@@ -44,31 +44,48 @@
 // sum over live generations of (shared_bytes + private_bytes) — exposed for
 // verification via affine_accounting().
 //
-// Concurrency model: the pool is lock-striped into N shards, each with its
-// own mutex, free lists, affine lists, and dirty queue.  A thread's
-// Acquire/Release lands on its home shard (stable hash of the thread id),
-// so concurrent invokers on different threads never contend on a global
-// lock.  An acquire that misses its home shard probes sibling shards with
-// try_lock — a contended sibling is skipped, not convoyed on — and only
-// falls back to a blocking sweep (then a fresh create) when the
-// opportunistic pass finds nothing.  The async cleaner crew steals dirty
-// shells from sibling shards the same way, so no shell is stranded behind a
-// busy shard.  Stats are plain atomics, aggregated on read.
+// Concurrency model — the lock-free fast path.  The common-case acquire and
+// release never take a mutex and never allocate:
+//
+//   1. Per-lane cache.  Every executor worker (and, lazily, any other
+//      thread) is bound to a *lane* (Pool::BindLane / an auto-assigned id).
+//      Each lane owns a single-slot cache for a clean shell and one for a
+//      snapshot-affine shell, touched with a plain atomic exchange.  A shell
+//      released by a lane is re-acquired by that same lane while its pages
+//      are still cache- and TLB-warm.
+//   2. Per-shard Treiber free-lists.  Lanes map statically onto shards
+//      (lane mod shards); each shard keeps tagged-pointer ABA-safe lock-free
+//      stacks (see freelist.h) for clean, affine, and dirty shells.  A lane
+//      cache miss pops the home shard's stack, then *steals* from sibling
+//      shards — nearest (modeled-)NUMA-node shards first.
+//   3. Mutex slow path.  Only when the bounded lock-free probes find
+//      nothing does an acquire take shard mutexes for an exhaustive sweep
+//      (then a fresh create).  Eviction, retirement, and the cleaner drain
+//      barrier are maintenance and serialize the same way.
+//
+// NUMA placement is *modeled* (the emulated machine has no real topology):
+// shards are split into `numa_nodes` contiguous blocks and the steal order
+// prefers same-node shards, so an affine shell's pages are reused by the
+// lane — or at worst the node — that dirtied them.  PoolStats separates
+// lane-cache hits, free-list hits, slow-path acquires, and cross-shard /
+// cross-node steals, and the pool keeps a log2-bucketed acquire-latency
+// histogram (p50/p99 in wall ns and modeled cycles) so the fast path's
+// flatness under lane count is observable, not asserted.
 #ifndef SRC_WASP_POOL_H_
 #define SRC_WASP_POOL_H_
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <set>
+#include <shared_mutex>
 #include <thread>
 #include <vector>
 
 #include "src/vkvm/vkvm.h"
+#include "src/wasp/freelist.h"
 
 namespace wasp {
 
@@ -85,6 +102,14 @@ struct PoolStats {
   uint64_t releases = 0;
   uint64_t cleans = 0;
   uint64_t bytes_zeroed = 0;
+  // Fast-path counters.  Every acquire is served by exactly one of the
+  // three tiers: acquires == lane_cache_hits + freelist_hits +
+  // slow_path_acquires (fresh creates are slow-path by definition).
+  uint64_t lane_cache_hits = 0;     // served by the caller's lane slot
+  uint64_t freelist_hits = 0;       // served by a lock-free shard stack
+  uint64_t slow_path_acquires = 0;  // took a shard mutex (or created fresh)
+  uint64_t cross_shard_steals = 0;  // free-list hits served off-home-shard
+  uint64_t cross_node_steals = 0;   // ... and off the home's modeled NUMA node
   // Snapshot-affinity counters.
   uint64_t affine_hits = 0;      // keyed acquires served with the snapshot resident
   uint64_t affine_parks = 0;     // releases that skipped zeroing (snapshot-backed)
@@ -94,17 +119,29 @@ struct PoolStats {
   uint64_t affine_evictions = 0;       // shells evicted by the resident-byte budget
   uint64_t affine_retired = 0;         // shells eagerly reclaimed by RetireGeneration
   // Gauge: bytes parked affine right now == affine_shared_bytes +
-  // affine_private_bytes (the conservation invariant).
+  // affine_private_bytes (the conservation invariant; exact at quiescence —
+  // the lock-free park/unpark paths update the three atomics one at a time).
   uint64_t affine_resident_bytes = 0;
   uint64_t affine_shared_bytes = 0;   // gauge: extent chains, once per live generation
   uint64_t affine_private_bytes = 0;  // gauge: per-shell privatized pages
 };
 
-// A consistent point-in-time breakdown of the affine residency gauge (taken
-// under the generation lock, so the per-generation rows and the gauge can
-// never disagree): sum(shared + private) over rows == resident_bytes at
-// every observation, the COW analogue of the executor's
-// submitted == completed + queued + in_flight conservation law.
+// Acquire-latency summary from the pool's log2-bucketed histogram: wall
+// nanoseconds per Acquire/AcquireAffine call (bucket upper bounds), plus the
+// same figure converted to modeled cycles at the reference clock rate.
+struct AcquireLatency {
+  uint64_t samples = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t p50_cycles = 0;
+  uint64_t p99_cycles = 0;
+};
+
+// A consistent point-in-time breakdown of the affine residency gauge.  The
+// per-generation rows are read from the per-generation atomic counters and
+// resident_bytes is *derived* as their sum, so sum(shared + private) over
+// rows == resident_bytes at every observation — the COW analogue of the
+// executor's submitted == completed + queued + in_flight conservation law.
 struct AffineAccounting {
   struct Generation {
     uint64_t generation = 0;
@@ -112,14 +149,14 @@ struct AffineAccounting {
     uint64_t private_bytes = 0;  // privatized pages across parked shells
     int64_t parked_shells = 0;
   };
-  uint64_t resident_bytes = 0;  // the affine_resident_bytes gauge
+  uint64_t resident_bytes = 0;  // sum of the rows (== the gauge at quiescence)
   std::vector<Generation> generations;
 };
 
 struct PoolOptions {
   CleanMode mode = CleanMode::kSync;
-  // Lock stripes.  Acquire/Release serialize only within a shard; the
-  // default comfortably exceeds the worker counts the executor drives.
+  // Lock stripes (now: Treiber-stack stripes; the mutex is slow-path only).
+  // The default comfortably exceeds the worker counts the executor drives.
   int shards = 8;
   // Async cleaner crew size (ignored unless mode == kAsync).
   int cleaners = 2;
@@ -127,6 +164,12 @@ struct PoolOptions {
   // A park that exceeds it evicts least-recently-used generations into the
   // cleaning path until parked bytes fit again.
   uint64_t affine_budget_bytes = 0;
+  // Per-lane cache slots.  0 = auto: max(16, 2 * shards), enough for the
+  // 16-lane fig9 sweep with every lane owning a private slot.
+  int lanes = 0;
+  // Modeled NUMA topology: shards are split into this many contiguous node
+  // blocks and the steal order visits same-node shards first.  1 = flat.
+  int numa_nodes = 1;
 };
 
 class Pool {
@@ -138,14 +181,22 @@ class Pool {
   Pool(const Pool&) = delete;
   Pool& operator=(const Pool&) = delete;
 
+  // Binds the calling thread to `lane` for every pool in the process (the
+  // executor binds each worker to its worker index).  Unbound threads are
+  // lazily assigned a process-unique lane id on first pool use; either way
+  // the lane — and thus the home shard and modeled NUMA node — is stable
+  // for the thread's lifetime.
+  static void BindLane(uint32_t lane);
+
   // Acquires a shell with the given configuration, reusing a clean pooled
   // shell when available.  `*from_pool` (optional) reports which path ran.
   std::unique_ptr<vkvm::Vm> Acquire(const vkvm::VmConfig& config, bool* from_pool = nullptr);
 
-  // Keyed acquire: prefers a shard-local shell that already holds snapshot
-  // `generation` resident (then steals one from a sibling), falling back to
-  // a clean shell and finally a fresh create.  `*affine_hit` reports whether
-  // the returned shell holds the snapshot (caller may delta-restore).
+  // Keyed acquire: prefers the lane cache / home shard stack holding
+  // snapshot `generation` resident (then steals from siblings, nearest node
+  // first), falling back to a clean shell and finally a fresh create.
+  // `*affine_hit` reports whether the returned shell holds the snapshot
+  // (caller may delta-restore).
   std::unique_ptr<vkvm::Vm> AcquireAffine(const vkvm::VmConfig& config, uint64_t generation,
                                           bool* affine_hit, bool* from_pool = nullptr);
 
@@ -161,12 +212,13 @@ class Pool {
   // Residency accounting: a COW-backed shell is charged its privatized bytes
   // only; `shared_bytes` (the generation's extent-chain size) is charged
   // once when the generation's first shell parks and released when its last
-  // shell leaves.  A shell without a COW base is charged its full guest
-  // memory (legacy full-copy parking) and should pass shared_bytes == 0.
+  // shell leaves.  Every park of one generation must pass the same
+  // shared_bytes (it is a property of the snapshot); a shell without a COW
+  // base is charged its full guest memory and should pass shared_bytes == 0.
   void ReleaseAffine(std::unique_ptr<vkvm::Vm> vm, uint64_t generation,
                      uint64_t shared_bytes = 0);
 
-  // Pops one shell parked under `generation` (any shard, any mem size)
+  // Pops one shell parked under `generation` (any lane/shard, any mem size)
   // without any clean-shell or fresh-create fallback: nullptr when nothing
   // is parked.  The re-capture path folds a warm shell's drift into a delta
   // snapshot; counted as an acquire + affine hit like AcquireAffine.
@@ -184,75 +236,162 @@ class Pool {
   void DrainCleaner();
 
   // Pre-populates the pool with `count` clean shells (benchmark warm-up).
-  // Shells are created outside any lock and distributed round-robin across
-  // shards with one lock acquisition per shard.
+  // Shells are created outside any lock and pushed round-robin onto the
+  // shards' lock-free free stacks.
   void Prewarm(const vkvm::VmConfig& config, int count);
 
   PoolStats stats() const;
-  // Consistent snapshot of the residency gauge and its per-generation
-  // breakdown (see AffineAccounting).
+  // Acquire-latency percentiles from the histogram (see AcquireLatency).
+  AcquireLatency acquire_latency() const;
+  // Consistent snapshot of the residency breakdown (see AffineAccounting).
   AffineAccounting affine_accounting() const;
-  // Clean shells of `mem_size` across all shards.
+  // Clean shells of `mem_size` across all shards and lane slots.  Exact on
+  // a quiescent pool; diagnostic (racy walk) under concurrency.
   size_t FreeShells(uint64_t mem_size) const;
-  // Clean shells of any size across all shards (conservation checks).
+  // Clean shells of any size across all shards and lane slots (conservation
+  // checks; same quiescence caveat).
   size_t TotalFreeShells() const;
-  // Parked snapshot-affine shells for `generation` across all shards.
+  // Parked snapshot-affine shells for `generation` (from the per-generation
+  // accounting counters, wherever the shells physically sit).
   size_t AffineShells(uint64_t generation) const;
   // Parked snapshot-affine shells of any generation (conservation checks).
   size_t TotalAffineShells() const;
 
   CleanMode mode() const { return options_.mode; }
   size_t shard_count() const { return shards_.size(); }
+  size_t lane_count() const { return lane_capacity_; }
+  // The modeled NUMA node a shard belongs to (contiguous blocks).
+  size_t NodeOfShard(size_t shard) const;
+  // Clean shells of `mem_size` parked on `shard`'s free stack (lane slots
+  // are lane-owned, not shard-owned, and are not counted here).
   size_t FreeShellsInShard(size_t shard, uint64_t mem_size) const;
 
  private:
-  // A parked snapshot-affine shell plus the private bytes it was charged at
-  // park time (the charge must be released with the same value it was taken
-  // with, whatever the memory looks like later).
-  struct AffineShell {
-    std::unique_ptr<vkvm::Vm> vm;
-    uint64_t private_bytes = 0;
+  // Generation-LRU + residency state, one row per generation ever parked.
+  // Rows are immortal (generations are process-unique and never reused), so
+  // the lock-free fast path can hold a GenInfo* with no lifetime protocol;
+  // gen_mu_ is a read-mostly shared_mutex guarding only the map itself.
+  struct GenInfo {
+    uint64_t generation = 0;
+    std::atomic<uint64_t> last_use_tick{0};
+    std::atomic<int64_t> parked_shells{0};
+    // Sum of parked shells' private bytes.
+    std::atomic<uint64_t> private_bytes{0};
+    // The shared extent chain, declared once (a property of the snapshot);
+    // charged to the gauge while any shell is parked.  The charge pairs with
+    // the parked_shells 0->1 / 1->0 transitions, which strictly alternate.
+    std::atomic<uint64_t> shared_bytes{0};
+    // Set before RetireGeneration sweeps; a park that raced the sweep
+    // re-checks it after pushing and re-runs the sweep itself.
+    std::atomic<bool> retired{false};
+  };
+
+  // A pooled shell's free-list node.  Nodes are arena-owned for the pool's
+  // lifetime (the Treiber stacks' ABA-safety contract) and recycled through
+  // spare_nodes_, so the steady state allocates nothing.  `vm` is written
+  // only by the node's owner (pusher before insert / popper after removal;
+  // the stack CASes order those); the metadata fields are atomics because
+  // diagnostic walks and sweep filters read them without ownership.
+  struct ShellNode {
+    std::atomic<ShellNode*> next{nullptr};
+    vkvm::Vm* vm = nullptr;
+    std::atomic<uint64_t> mem_size{0};
+    std::atomic<uint64_t> generation{0};  // 0 = clean shell
+    std::atomic<uint64_t> private_bytes{0};
+    GenInfo* gen = nullptr;  // accounting row (affine nodes only)
   };
 
   struct Shard {
+    // Slow-path maintenance only (exhaustive sweeps, eviction, retirement
+    // serialize here); the acquire/release fast paths never take it.
     mutable std::mutex mu;
-    std::map<uint64_t, std::vector<std::unique_ptr<vkvm::Vm>>> free;  // by mem size
-    std::map<uint64_t, std::vector<AffineShell>> affine;  // by snapshot generation
-    std::deque<std::unique_ptr<vkvm::Vm>> dirty;
+    TaggedStack<ShellNode> free;    // clean shells, mixed mem sizes
+    TaggedStack<ShellNode> affine;  // snapshot-affine shells, mixed generations
+    TaggedStack<ShellNode> dirty;   // awaiting the cleaner crew
   };
 
-  // The calling thread's home shard (stable across the thread's lifetime).
+  // One lane's single-slot caches, padded to a cache line so neighboring
+  // lanes never false-share.
+  struct alignas(64) Lane {
+    std::atomic<ShellNode*> clean{nullptr};
+    std::atomic<ShellNode*> affine{nullptr};
+  };
+
+  // The calling thread's stable lane id (bound or auto-assigned).
+  static uint32_t CurrentLane();
+  size_t LaneIndex() const;
   size_t HomeShard() const;
+
+  // Node arena: pop a spare (lock-free) or allocate into all_nodes_.
+  ShellNode* WrapShell(std::unique_ptr<vkvm::Vm> vm, uint64_t generation,
+                       uint64_t private_bytes, GenInfo* gen);
+  // Takes the vm out of a popped node and recycles the node.
+  std::unique_ptr<vkvm::Vm> UnwrapShell(ShellNode* node);
+
   // Zeroes dirty pages and resets vCPU/accounting.  `charge_inline` charges
   // the modeled memset cost to the shell (sync release and inline affine
   // reclaims sit on a critical path; the async cleaner crew absorbs it off
   // the critical path instead).
   void CleanShell(vkvm::Vm* vm, bool charge_inline);
-  // Lock-held helpers; each assumes `shard.mu` is held by the caller.
-  std::unique_ptr<vkvm::Vm> PopFree(Shard& shard, uint64_t mem_size);
-  std::unique_ptr<vkvm::Vm> PopAffine(Shard& shard, uint64_t generation, uint64_t mem_size);
-  std::unique_ptr<vkvm::Vm> PopAnyAffine(Shard& shard, uint64_t mem_size);
-  // The clean-shell acquire path shared by Acquire and AcquireAffine's
-  // fallback (does not bump the acquires counter).
-  std::unique_ptr<vkvm::Vm> AcquireClean(const vkvm::VmConfig& config, bool* from_pool);
+
+  // Lock-free bounded pop of the first node matching (mem_size[, gen]) from
+  // `stack`, re-pushing up to kPopScan mismatches.  A false miss (match
+  // deeper than the scan bound) is allowed — the caller falls through to
+  // the exhaustive slow path.
+  ShellNode* PopMatch(TaggedStack<ShellNode>& stack, uint64_t mem_size,
+                      uint64_t generation, bool match_generation);
+  // Exhaustive pop-scan (caller holds the shard mutex): drains the stack,
+  // keeps the first match, pushes everything else back.
+  ShellNode* ScanMatch(TaggedStack<ShellNode>& stack, uint64_t mem_size,
+                       uint64_t generation, bool match_generation);
+
+  // Lock-free tiers 1+2 for a clean shell (lane slot, then NUMA-ordered
+  // stack pops); nullptr on miss.  Counts the serving tier.
+  std::unique_ptr<vkvm::Vm> TryFastClean(const vkvm::VmConfig& config, bool* from_pool);
+  // Lock-free tiers 1+2 for a generation-affine shell; nullptr on miss.
+  std::unique_ptr<vkvm::Vm> TryFastAffine(const vkvm::VmConfig& config, uint64_t generation,
+                                          bool* from_pool);
+  // The mutex slow path: exhaustive exact-generation affine sweep (when
+  // `generation` != 0), exhaustive clean sweep, any-generation affine
+  // reclaim, finally a fresh create.  Always serves.
+  std::unique_ptr<vkvm::Vm> AcquireSlow(const vkvm::VmConfig& config, uint64_t generation,
+                                        bool* affine_hit, bool* from_pool);
+  // Put a node taken out of lane `lane`'s slot back: re-CAS into the slot
+  // if still empty, else spill to the lane's shard stack.
+  void ReinsertLaneClean(size_t lane, ShellNode* node);
+  void ReinsertLaneAffine(size_t lane, ShellNode* node);
+  // Diagnostic stack walk (quiescent-exact; see the accessor caveats).
+  size_t CountStack(const TaggedStack<ShellNode>& stack, uint64_t mem_size,
+                    bool match_mem) const;
+
   // Pops one dirty shell, scanning shards from `home` (work-stealing).
   // Transfers it to "cleaning in flight" before the dirty count drops so
   // DrainCleaner never observes a false drain.
   std::unique_ptr<vkvm::Vm> PopDirty(size_t home, size_t* source_shard);
   void CleanerLoop(size_t home);
-  void ParkClean(std::unique_ptr<vkvm::Vm> vm, size_t shard);
-  // Affine-residency bookkeeping shared by every park/pop/evict path.
-  // TryNoteAffineParked refuses (returns false) when the generation was
-  // retired — the caller must divert the shell to the cleaning path instead
-  // of parking it.  Both are called with the owning shard's lock held, so a
-  // park can never interleave with RetireGeneration's sweep of that shard.
-  // The gauge atomics are written inside the gen_mu_ critical section, which
-  // is what makes affine_accounting()'s breakdown == gauge at every
-  // observation.  shared_bytes is charged on a generation's first park and
-  // released on its last removal; private_bytes per shell.
-  bool TryNoteAffineParked(uint64_t generation, uint64_t shared_bytes,
-                           uint64_t private_bytes);
-  void NoteAffineRemoved(uint64_t generation, uint64_t private_bytes);
+  // Parks a clean shell: the *caller's lane slot* when parking on the
+  // release path (lane locality), else the shard's free stack.
+  void ParkClean(std::unique_ptr<vkvm::Vm> vm, size_t shard, bool try_lane);
+
+  // Accounting row lookup/creation (shared lock for the common hit).
+  GenInfo* FindGen(uint64_t generation) const;
+  GenInfo* FindOrCreateGen(uint64_t generation);
+  // Residency bookkeeping.  TryChargeAffine refuses (returns false) when the
+  // generation is retired — the caller diverts the shell to the cleaning
+  // path.  The shared chain is charged on the parked_shells 0->1 transition
+  // and released on 1->0; transitions strictly alternate, so charge/release
+  // pair exactly with the (immutable) declared chain size.
+  bool TryChargeAffine(GenInfo* gen, uint64_t shared_bytes, uint64_t private_bytes);
+  void ReleaseAffineCharge(GenInfo* gen, uint64_t private_bytes);
+
+  // Removes up to `max_take` affine nodes of `generation` from every lane
+  // slot and shard stack (ownership transfers to the caller; charges are
+  // NOT released).  Returns (node, source shard) pairs.
+  std::vector<std::pair<ShellNode*, size_t>> TakeAffineNodes(uint64_t generation,
+                                                             size_t max_take);
+  // Disposes retired-generation shells: releases charges, counts, cleans.
+  void RetireSweep(GenInfo* gen);
+
   // Sends a formerly-affine shell through the cleaning path: the dirty
   // queue (async mode) or an inline clean (sync mode).  `shard` is where it
   // should land / was parked.
@@ -261,45 +400,47 @@ class Pool {
   // the configured budget again (no-op when unlimited).
   void EnforceAffineBudget();
 
-  const PoolOptions options_;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  void RecordAcquireNs(uint64_t ns);
 
-  // Cleaner-crew coordination.  The dirty/in-flight counters are atomics so
-  // the release fast path never takes this mutex for queue work; it is held
-  // only around notify to close the sleep/notify race.
+  const PoolOptions options_;
+  size_t lane_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<Lane[]> lanes_;
+  // Per-home-shard steal order: home first, then same-node shards, then
+  // remote nodes (precomputed; read-only after construction).
+  std::vector<std::vector<uint32_t>> probe_order_;
+
+  // Node arena.  spare_nodes_ recycles popped nodes lock-free; all_nodes_
+  // (mutex-guarded, touched only when the spare stack is empty) owns them.
+  TaggedStack<ShellNode> spare_nodes_;
+  mutable std::mutex node_mu_;
+  std::vector<std::unique_ptr<ShellNode>> all_nodes_;
+
+  // Cleaner-crew coordination.  The dirty/in-flight counters are atomics;
+  // the release fast path pushes lock-free and notifies without the mutex,
+  // so cleaners and DrainCleaner wait with a timeout as the belt against a
+  // missed notify (the race window is the notify racing a wait entry).
   std::mutex cleaner_mu_;
   std::condition_variable cleaner_cv_;  // cleaners sleep here
   std::condition_variable drain_cv_;    // DrainCleaner sleeps here
   std::atomic<int64_t> dirty_count_{0};
   std::atomic<int64_t> cleaning_in_flight_{0};
-  // Parked affine shells across all shards (maintained by ReleaseAffine and
-  // the Pop* helpers).  A zero read lets acquires skip the affine sweeps
-  // entirely — the common case when nothing is parked — instead of blocking
-  // through every shard lock just to find empty lists.
+  // Parked affine shells across all lanes/shards.  A zero read lets
+  // acquires skip the affine probes entirely — the common case when nothing
+  // is parked.
   std::atomic<int64_t> affine_count_{0};
   std::atomic<bool> stop_{false};
   std::vector<std::thread> cleaners_;
 
-  // Generation-LRU state for the eviction policy: per-generation last-use
-  // tick (bumped on park and affine hit) and live parked-shell count, under
-  // a dedicated mutex so shard locks never nest inside it.
-  struct GenInfo {
-    uint64_t last_use_tick = 0;
-    int64_t parked_shells = 0;
-    // Residency breakdown: the shared extent chain (charged while any shell
-    // is parked) and the sum of parked shells' private bytes.
-    uint64_t shared_bytes = 0;
-    uint64_t private_bytes = 0;
-  };
-  mutable std::mutex gen_mu_;
-  std::map<uint64_t, GenInfo> generations_;
-  // Generations that have been retired.  A release racing RetireGeneration
-  // can finish after the sweep; its park attempt consults this set (under
-  // gen_mu_, inside the shard lock) and diverts to the cleaning path, so a
-  // dead generation can never re-strand memory.  Generations are never
-  // reused, so entries stay valid forever; one u64 per retirement.
-  std::set<uint64_t> retired_generations_;
+  // Generation table (see GenInfo).  Read-mostly: the fast path takes the
+  // shared side only; exclusive only to insert a new generation's row.
+  mutable std::shared_mutex gen_mu_;
+  std::map<uint64_t, std::unique_ptr<GenInfo>> generations_;
   std::atomic<uint64_t> use_tick_{0};
+
+  // Acquire-latency histogram: log2(ns) buckets.
+  static constexpr int kLatBuckets = 40;
+  mutable std::atomic<uint64_t> lat_buckets_[kLatBuckets] = {};
 
   struct AtomicStats {
     std::atomic<uint64_t> acquires{0};
@@ -308,6 +449,11 @@ class Pool {
     std::atomic<uint64_t> releases{0};
     std::atomic<uint64_t> cleans{0};
     std::atomic<uint64_t> bytes_zeroed{0};
+    std::atomic<uint64_t> lane_cache_hits{0};
+    std::atomic<uint64_t> freelist_hits{0};
+    std::atomic<uint64_t> slow_path_acquires{0};
+    std::atomic<uint64_t> cross_shard_steals{0};
+    std::atomic<uint64_t> cross_node_steals{0};
     std::atomic<uint64_t> affine_hits{0};
     std::atomic<uint64_t> affine_parks{0};
     std::atomic<uint64_t> affine_reclaims{0};

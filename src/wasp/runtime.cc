@@ -21,6 +21,8 @@ PoolOptions MakePoolOptions(const RuntimeOptions& options) {
   pool.mode = options.clean_mode;
   pool.shards = options.pool_shards;
   pool.cleaners = options.pool_cleaners;
+  pool.lanes = options.pool_lanes;
+  pool.numa_nodes = options.pool_numa_nodes;
   pool.affine_budget_bytes = options.affine_budget_bytes;
   return pool;
 }

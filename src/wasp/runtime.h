@@ -153,6 +153,10 @@ struct RuntimeOptions {
   // Shell-pool scale-out knobs (defaults follow PoolOptions).
   int pool_shards = PoolOptions{}.shards;
   int pool_cleaners = PoolOptions{}.cleaners;
+  // Per-lane shell-cache slots (<= 0 auto-sizes to max(16, 2*shards)) and
+  // modeled NUMA nodes for the lane→shard→node placement map.
+  int pool_lanes = PoolOptions{}.lanes;
+  int pool_numa_nodes = PoolOptions{}.numa_nodes;
   // Worker threads of the executor backing InvokeAsync (0 = pick from
   // hardware concurrency).
   int async_workers = 0;

@@ -289,6 +289,46 @@ TEST(GovernTrace, GlobalBoundShedsAsOverloadNotQuota) {
   EXPECT_EQ(quota, 0u);
 }
 
+// Tiered overrides: three tenants offering the *identical* flood, separated
+// only by their resolved quota (premium and free explicit, standard through
+// the key_quota fallback).  Admission must be monotone in quota.
+TEST(GovernTrace, KeyQuotaOverridesResolveTiersOverOneFlood) {
+  vnet::MeasuredTrace trace;
+  trace.names = {"premium", "standard", "free"};
+  trace.classes = {wasp::KeyClass::kLatency, wasp::KeyClass::kLatency,
+                   wasp::KeyClass::kLatency};
+  for (int i = 0; i < 120; ++i) {  // round-robin arrivals, far over capacity
+    trace.arrivals_us.push_back(1000.0 * i);
+    trace.tenant.push_back(i % 3);
+    trace.service_us.push_back(5000.0);
+    trace.cold.push_back(false);
+  }
+  vnet::GovernanceOptions tiered;
+  tiered.lanes = 1;
+  tiered.key_quota = 4;  // the standard tier rides the fallback
+  tiered.key_quota_overrides = {{"premium", 8}, {"free", 1}};
+  EXPECT_EQ(tiered.QuotaFor("premium"), 8u);
+  EXPECT_EQ(tiered.QuotaFor("standard"), 4u);
+  EXPECT_EQ(tiered.QuotaFor("free"), 1u);
+
+  const vnet::GovernedReplay replay = vnet::GovernTrace(trace, tiered);
+  const vnet::TenantOutcome& premium = replay.tenants[0];
+  const vnet::TenantOutcome& standard = replay.tenants[1];
+  const vnet::TenantOutcome& free_tier = replay.tenants[2];
+  for (const vnet::TenantOutcome& tenant : replay.tenants) {
+    EXPECT_EQ(tenant.offered, tenant.completed + tenant.shed_quota + tenant.shed_overload)
+        << tenant.name;
+    EXPECT_GT(tenant.shed_quota, 0u) << tenant.name << ": its quota never bound";
+  }
+  EXPECT_GT(premium.completed, standard.completed);
+  EXPECT_GT(standard.completed, free_tier.completed);
+  EXPECT_LT(premium.shed_rate, standard.shed_rate);
+  EXPECT_LT(standard.shed_rate, free_tier.shed_rate);
+  // Differentiated admission shows up in the fairness index (< 1 by design).
+  EXPECT_LT(replay.fairness_index, 1.0);
+  EXPECT_GT(replay.fairness_index, 0.0);
+}
+
 // --- Vespid multi-tenant measurement (real invocations) ----------------------
 
 TEST(MultiTenant, MeasuredTraceCoversEveryArrivalOfEveryTenant) {

@@ -17,6 +17,7 @@
 #include "src/vrt/env.h"
 #include "src/vrt/samples.h"
 #include "src/wasp/executor.h"
+#include "src/wasp/freelist.h"
 #include "src/wasp/pool.h"
 #include "src/wasp/runtime.h"
 #include "src/wasp/vfunc.h"
@@ -833,6 +834,227 @@ TEST(Concurrency, InvokeAsyncResolvesFutures) {
     wasp::RunOutcome outcome = futures[static_cast<size_t>(i)].get();
     ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
     EXPECT_EQ(outcome.result_word, static_cast<uint64_t>(i + 7));
+  }
+}
+
+// --- Lock-free fast path (PR 7): Treiber free-list + lane caches ------------
+
+struct StackNode {
+  std::atomic<StackNode*> next{nullptr};
+  int id = 0;
+};
+
+// The classic ABA interleaving, replayed deterministically: a "stalled" pop
+// snapshots head == B, the world pops B and A and pushes B back (same top
+// pointer, different stack), and the stale CAS must FAIL — its success would
+// install the long-gone A as the new head.  PopIfHeadIs issues exactly the
+// compare a stalled Pop would.
+TEST(Concurrency, TaggedStackAbaRegressionStaleCasMustFail) {
+  wasp::TaggedStack<StackNode> stack;
+  StackNode a, b;
+  a.id = 1;
+  b.id = 2;
+  stack.Push(&a);
+  stack.Push(&b);  // stack: B -> A
+
+  // Thread 1 "stalls" here with a snapshot of (B, tag).
+  const uint64_t stale = stack.PackedHead();
+  ASSERT_EQ(wasp::TaggedStack<StackNode>::UnpackPtr(stale), &b);
+
+  // Meanwhile the world: pop B, pop A, push B back.  Head points at B
+  // again — bitwise-identical pointer, completely different stack.
+  ASSERT_EQ(stack.Pop(), &b);
+  ASSERT_EQ(stack.Pop(), &a);
+  stack.Push(&b);  // stack: B (b.next == nullptr now)
+
+  // Without the tag this CAS would succeed and resurrect A as head.  The
+  // three interleaved operations each bumped the tag, so it must fail.
+  EXPECT_EQ(stack.PopIfHeadIs(stale), nullptr);
+  EXPECT_EQ(wasp::TaggedStack<StackNode>::UnpackPtr(stack.PackedHead()), &b);
+
+  // A *fresh* snapshot replayed unchanged is the control: it must pop.
+  const uint64_t fresh = stack.PackedHead();
+  EXPECT_EQ(stack.PopIfHeadIs(fresh), &b);
+  EXPECT_EQ(stack.Pop(), nullptr);  // and the stack is exactly empty
+}
+
+// Node conservation under contended push/pop: every node checked in comes
+// back exactly once.  Run under TSan this also vets the stack's memory
+// ordering (the stale top->next read in Pop is the interesting part).
+TEST(Concurrency, TaggedStackConcurrentPushPopConservesNodes) {
+  constexpr int kNodes = 64;
+  wasp::TaggedStack<StackNode> stack;
+  std::vector<std::unique_ptr<StackNode>> arena;
+  arena.reserve(kNodes);
+  for (int i = 0; i < kNodes; ++i) {
+    arena.push_back(std::make_unique<StackNode>());
+    arena.back()->id = i;
+    stack.Push(arena.back().get());
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&stack] {
+      for (int i = 0; i < kItersPerThread * 8; ++i) {
+        StackNode* node = stack.Pop();
+        if (node != nullptr) {
+          stack.Push(node);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  // Drain: exactly kNodes distinct nodes, no duplicates, no losses.
+  std::vector<bool> seen(kNodes, false);
+  int drained = 0;
+  while (StackNode* node = stack.Pop()) {
+    ASSERT_FALSE(seen[static_cast<size_t>(node->id)]) << "node popped twice";
+    seen[static_cast<size_t>(node->id)] = true;
+    ++drained;
+  }
+  EXPECT_EQ(drained, kNodes);
+}
+
+// The tentpole's conservation stress: N lanes x M iterations of mixed
+// Acquire / AcquireAffine / Release / ReleaseAffine over a small pool with a
+// binding affine budget and a mid-run generation retirement, quiescing
+// between rounds.  At every quiesce point, shells created == shells parked
+// (free + affine) — eviction and retirement recycle through the free side —
+// and the acquire tiers partition the acquires exactly.
+TEST(Concurrency, LockFreeFastPathMixedOpsConserveAtQuiescePoints) {
+  wasp::PoolOptions options;
+  options.mode = wasp::CleanMode::kSync;
+  options.shards = 4;
+  options.lanes = kThreads;
+  options.numa_nodes = 2;                      // exercise the NUMA steal order
+  options.affine_budget_bytes = 3ULL << 20;    // ~3 shells: evictions guaranteed
+  wasp::Pool pool(options);
+  constexpr int kRounds = 3;
+  for (int round = 0; round < kRounds; ++round) {
+    // One generation per (round, parity) so the retired one never comes back.
+    const uint64_t gens[2] = {1000ull + 2 * static_cast<uint64_t>(round),
+                              1001ull + 2 * static_cast<uint64_t>(round)};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads + 1);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&pool, &gens, t] {
+        wasp::Pool::BindLane(static_cast<uint32_t>(t));
+        vkvm::VmConfig cfg;
+        const uint64_t generation = gens[t % 2];
+        for (int i = 0; i < kItersPerThread; ++i) {
+          std::unique_ptr<vkvm::Vm> vm;
+          if (i % 3 == 0) {
+            vm = pool.Acquire(cfg);
+          } else {
+            bool affine = false;
+            vm = pool.AcquireAffine(cfg, generation, &affine);
+          }
+          ASSERT_NE(vm, nullptr);
+          uint8_t b = static_cast<uint8_t>(t + 1);
+          ASSERT_TRUE(vm->memory().Write(0x9000, &b, 1).ok());
+          if (i % 4 == 3) {
+            pool.Release(std::move(vm));
+          } else {
+            vm->memory().BeginEpoch();
+            pool.ReleaseAffine(std::move(vm), generation);
+          }
+        }
+      });
+    }
+    // Retire one of the round's generations mid-run: parks racing the
+    // retirement must divert to the cleaning path, never re-strand shells.
+    threads.emplace_back([&pool, &gens] { pool.RetireGeneration(gens[1]); });
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+    // Quiesce point: conservation and tier partition must hold exactly.
+    const wasp::PoolStats stats = pool.stats();
+    EXPECT_EQ(stats.acquires, stats.pool_hits + stats.fresh_creates);
+    EXPECT_EQ(stats.acquires,
+              stats.lane_cache_hits + stats.freelist_hits + stats.slow_path_acquires);
+    EXPECT_EQ(stats.releases, stats.acquires);
+    EXPECT_EQ(pool.TotalFreeShells() + pool.TotalAffineShells(), stats.fresh_creates);
+    EXPECT_EQ(pool.AffineShells(gens[1]), 0u) << "retired generation re-parked";
+    // The gauge equals the per-generation rows at quiescence.
+    const wasp::AffineAccounting acct = pool.affine_accounting();
+    uint64_t sum = 0;
+    for (const auto& gen : acct.generations) {
+      sum += gen.shared_bytes + gen.private_bytes;
+    }
+    EXPECT_EQ(sum, acct.resident_bytes);
+    EXPECT_LE(acct.resident_bytes, options.affine_budget_bytes);
+  }
+  // Deterministic eviction epilogue: overstuff the 3 MB budget with four
+  // 1 MB parks under distinct generations — the budget must evict (LRU
+  // generation first) and conservation must survive the eviction path too.
+  {
+    vkvm::VmConfig cfg;
+    std::vector<std::unique_ptr<vkvm::Vm>> held;
+    for (int i = 0; i < 4; ++i) {
+      held.push_back(pool.Acquire(cfg));
+    }
+    for (int i = 0; i < 4; ++i) {
+      held[static_cast<size_t>(i)]->memory().BeginEpoch();
+      pool.ReleaseAffine(std::move(held[static_cast<size_t>(i)]),
+                         2000ull + static_cast<uint64_t>(i));
+    }
+  }
+  const wasp::PoolStats stats = pool.stats();
+  EXPECT_GT(stats.affine_evictions, 0u);
+  EXPECT_LE(pool.affine_accounting().resident_bytes, options.affine_budget_bytes);
+  EXPECT_EQ(pool.TotalFreeShells() + pool.TotalAffineShells(), stats.fresh_creates);
+  EXPECT_GT(stats.lane_cache_hits + stats.freelist_hits, 0u);
+}
+
+// Per-key quota overrides: three tiers submitting against a parked worker,
+// each key capped by its own resolved quota (premium and free are explicit
+// overrides; standard rides the key_quota fallback).
+TEST(Concurrency, ExecutorKeyQuotaOverridesGiveTieredAdmission) {
+  wasp::Runtime runtime;
+  wasp::ExecutorOptions options;
+  options.workers = 1;
+  options.max_queue_depth = 32;
+  options.block_when_full = false;
+  options.key_quota = 2;  // the standard tier's (fallback) cap
+  options.key_quota_overrides = {{"premium", 4}, {"free", 1}};
+  wasp::Executor executor(&runtime, options);
+  EXPECT_EQ(executor.options().QuotaFor("premium"), 4u);
+  EXPECT_EQ(executor.options().QuotaFor("standard"), 2u);
+  EXPECT_EQ(executor.options().QuotaFor("free"), 1u);
+
+  std::promise<void> gate;
+  auto gated = executor.SubmitTask(GateTask(gate.get_future().share()));
+  AwaitWorkerParked(executor);
+
+  auto noop = [] { return wasp::RunOutcome{}; };
+  std::vector<std::future<wasp::RunOutcome>> accepted;
+  const struct {
+    const char* key;
+    size_t quota;
+  } tiers[] = {{"premium", 4}, {"standard", 2}, {"free", 1}};
+  for (const auto& tier : tiers) {
+    for (size_t i = 0; i < tier.quota; ++i) {
+      std::future<wasp::RunOutcome> future;
+      ASSERT_TRUE(executor.TrySubmitTask(noop, &future, tier.key))
+          << tier.key << " submission " << i << " under its quota was rejected";
+      accepted.push_back(std::move(future));
+    }
+    // One over the tier's cap: quota-classified rejection.
+    std::future<wasp::RunOutcome> rejected;
+    wasp::Admission admission = wasp::Admission::kAccepted;
+    EXPECT_FALSE(executor.TrySubmitTask(noop, &rejected, tier.key,
+                                        wasp::KeyClass::kLatency, &admission));
+    EXPECT_EQ(admission, wasp::Admission::kQuotaExceeded) << tier.key;
+    EXPECT_EQ(executor.KeyLoad(tier.key), tier.quota);
+  }
+  EXPECT_EQ(executor.stats().quota_rejected, 3u);
+
+  gate.set_value();
+  gated.get();
+  for (auto& future : accepted) {
+    future.get();
   }
 }
 
