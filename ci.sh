@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure + build + ctest in one command.
 #
-#   ./ci.sh             # normal mode (warnings allowed) + fig9/fig12/fig13/fig16 smokes
+#   ./ci.sh             # normal mode (warnings allowed) + fig9/12/13/16/17 smokes
 #   STRICT=1 ./ci.sh    # -Werror: any warning fails the build
 #   TSAN=1 ./ci.sh      # ThreadSanitizer build; runs the threaded wasp/net tests
 #   ASAN=1 ./ci.sh      # Address+UBSanitizer build; runs the snapshot/memory tests
+#   SOAK=1 ./ci.sh      # default lane + the full fig17 chaos/soak run (longer)
 #   BUILD_DIR=out ./ci.sh
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -30,7 +31,7 @@ if [[ "${TSAN:-0}" == "1" ]]; then
   # TSan objects don't mix.
   BUILD_DIR="${BUILD_DIR:-build-tsan}"
   TSAN_TESTS=(test_wasp test_wasp_concurrency test_snapshot_engine test_governance
-              test_net test_http_server_concurrency)
+              test_net test_http_server_concurrency test_fault_injection)
   cmake -B "$BUILD_DIR" -S . -DVIRTINES_WERROR="$WERROR" \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
@@ -50,7 +51,7 @@ if [[ "${ASAN:-0}" == "1" ]]; then
   # residency accounting.  Separate build dir: sanitizer objects don't mix.
   BUILD_DIR="${BUILD_DIR:-build-asan}"
   ASAN_TESTS=(test_snapshot_engine test_wasp test_wasp_concurrency test_governance
-              test_cpu test_isa)
+              test_cpu test_isa test_fault_injection)
   cmake -B "$BUILD_DIR" -S . -DVIRTINES_WERROR="$WERROR" \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
@@ -92,6 +93,17 @@ cmake --build "$BUILD_DIR" -j"$(nproc)"
 # recapture/retire loop, and three-tier key_quota_overrides order admission
 # monotonically (premium > standard > free) under one identical flood.
 (cd "$BUILD_DIR" && ./fig16_multitenant --quick)
+# Chaos smoke: fig17's containment/storm/soak gates on shortened runs —
+# every injected FaultKind classifies and quarantines (no faulted shell is
+# ever re-acquired affine, the quarantine ledger balances), a fault storm on
+# one key keeps the co-tenant's p99 within 2x of fault-free, and a paced
+# soak leaves zero gauge drift and zero resident bytes after retirement.
+(cd "$BUILD_DIR" && ./fig17_chaos --quick)
+# SOAK=1: the full chaos + wall-clock soak run (minutes, not seconds) —
+# same gates, more rounds, real pacing.
+if [[ "${SOAK:-0}" == "1" ]]; then
+  (cd "$BUILD_DIR" && ./fig17_chaos --soak)
+fi
 # Per-lane coverage summary: the ctest suite count plus per-binary gtest
 # case totals, so a lane silently losing tests shows up in the log.
 suites=$(cd "$BUILD_DIR" && ctest -N | tail -n1 | tr -dc '0-9')
@@ -100,4 +112,4 @@ for t in "$BUILD_DIR"/test_*; do
   [[ -x "$t" ]] || continue
   cases=$((cases + $(count_gtests "$t")))
 done
-echo "[ci] default lane: ${suites} ctest suites, ${cases} gtest cases, 4 bench smokes"
+echo "[ci] default lane: ${suites} ctest suites, ${cases} gtest cases, 5 bench smokes"

@@ -43,6 +43,7 @@ void Cpu::Reset(uint64_t entry) {
   first_insn_pending_ = true;
   pending_entry_charge_ = false;
   fault_.clear();
+  injected_fault_.clear();
   milestones_.clear();
   FlushTlb();
 }
@@ -480,6 +481,14 @@ Exit Cpu::Run(uint64_t max_insns) {
     e.fault = fault_.empty() ? "unknown fault" : fault_;
     return e;
   };
+
+  // An injected fault (chaos testing) is delivered before the next
+  // instruction retires, exactly where a real trap would surface.
+  if (!injected_fault_.empty()) {
+    fault_ = std::move(injected_fault_);
+    injected_fault_.clear();
+    return fault_exit();
+  }
 
   for (uint64_t n = 0; n < max_insns; ++n) {
     const uint64_t pc = st_.rip;

@@ -97,6 +97,7 @@ class Cpu {
     first_insn_pending_ = false;
     pending_entry_charge_ = false;
     fault_.clear();
+    injected_fault_.clear();
     // A restore begins a fresh invocation; snapshot-affine shells skip the
     // pool's vCPU Reset, so the retire/exit/milestone counters restart here.
     insns_ = 0;
@@ -126,6 +127,12 @@ class Cpu {
   // Flushes the software TLB (the VMM calls this after mutating guest page
   // tables or restoring a snapshot).
   void FlushTlb();
+
+  // Fault injection (chaos testing): arms a synthetic architectural fault
+  // that the next Run() delivers before retiring any instruction, exactly as
+  // if the guest had trapped.  Cleared by Reset()/RestoreArch(), so an armed
+  // fault never leaks into a later invocation of a recycled shell.
+  void InjectFault(std::string reason) { injected_fault_ = std::move(reason); }
 
   // Translates a guest-virtual address under the current mode (no side
   // effects other than TLB fill / EPT touch accounting).  Used by the
@@ -188,6 +195,7 @@ class Cpu {
   bool first_insn_pending_ = true;
   bool pending_entry_charge_ = false;
   std::string fault_;
+  std::string injected_fault_;  // armed by InjectFault, delivered at Run()
   std::vector<BootMilestone> milestones_;
 };
 

@@ -105,6 +105,10 @@ class Vm {
   // Resets the vCPU to real mode at `entry` (does not touch memory).
   void ResetVcpu(uint64_t entry) { cpu_.Reset(entry); }
 
+  // Arms a synthetic guest fault delivered by the next Run() (chaos
+  // testing); cleared by any vCPU reset or snapshot restore.
+  void InjectGuestFault(std::string reason) { cpu_.InjectFault(std::move(reason)); }
+
   // Runs the vCPU until the next exit; the KVM_RUN analogue.  Charges the
   // vmrun host cost per call.
   RunResult Run(uint64_t max_insns = UINT64_MAX >> 1);

@@ -116,8 +116,14 @@ const char* ReasonPhrase(int status) {
 
 std::string BuildResponse(int status, const std::string& body,
                           const std::vector<std::pair<std::string, std::string>>& headers) {
+  return BuildResponseWithReason(status, ReasonPhrase(status), body, headers);
+}
+
+std::string BuildResponseWithReason(int status, const std::string& reason,
+                                    const std::string& body,
+                                    const std::vector<std::pair<std::string, std::string>>& headers) {
   std::ostringstream os;
-  os << "HTTP/1.0 " << status << " " << ReasonPhrase(status) << "\r\n";
+  os << "HTTP/1.0 " << status << " " << reason << "\r\n";
   os << "Content-Length: " << body.size() << "\r\n";
   for (const auto& [key, value] : headers) {
     os << key << ": " << value << "\r\n";

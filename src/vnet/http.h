@@ -35,6 +35,14 @@ vbase::Result<HttpRequest> ParseRequest(const std::string& data);
 std::string BuildResponse(int status, const std::string& body,
                           const std::vector<std::pair<std::string, std::string>>& headers = {});
 
+// Same, but with a caller-supplied reason phrase in the status line (the
+// serving front end answers guest faults with the FaultKind name, e.g.
+// "HTTP/1.0 500 guest-trap", so a client or log scraper can tell an
+// isolated guest fault from a host-side failure without a body schema).
+std::string BuildResponseWithReason(int status, const std::string& reason,
+                                    const std::string& body,
+                                    const std::vector<std::pair<std::string, std::string>>& headers = {});
+
 // Status reason phrases ("OK", "Not Found", ...).
 const char* ReasonPhrase(int status);
 

@@ -328,6 +328,23 @@ vbase::Result<ServeStats> StaticHttpServer::HandleVirtine(wasp::ByteChannel& cha
   spec.env = env_;
   spec.channel = &channel.guest();
   wasp::RunOutcome outcome = runtime_->Invoke(spec);
+  if (outcome.fault != wasp::FaultKind::kNone) {
+    // The guest (not the server) died: its shell is already quarantined.
+    // Answer 500 with the fault kind as the reason phrase so the client can
+    // tell an isolated guest fault from host-side trouble, and return OK
+    // stats — one faulted invocation is a served (if failed) connection,
+    // not a server error.
+    channel.guest().WriteString(
+        BuildResponseWithReason(500, wasp::FaultKindName(outcome.fault), ""));
+    ServeStats stats;
+    stats.status = 500;
+    stats.fault = outcome.fault;
+    stats.modeled_cycles = outcome.stats.total_cycles;
+    stats.guest_cycles = outcome.stats.guest_cycles;
+    stats.io_exits = outcome.stats.io_exits;
+    stats.wall_ns = timer.ElapsedNanos();
+    return stats;
+  }
   if (!outcome.status.ok()) {
     return outcome.status;
   }
@@ -397,6 +414,7 @@ std::future<vbase::Result<ServeStats>> ConcurrentHttpServer::Dispatch(
   const bool accepted = executor_.TrySubmitTask(
       [this, &channel, mode, done, &ctr]() -> wasp::RunOutcome {
         vbase::Result<ServeStats> stats = inner_.HandleConnection(channel, mode);
+        wasp::RunOutcome outcome;
         if (stats.ok()) {
           const int status = stats->status;
           if (status >= 200 && status < 300) {
@@ -406,6 +424,13 @@ std::future<vbase::Result<ServeStats>> ConcurrentHttpServer::Dispatch(
           } else if (status >= 500) {
             ctr.status_5xx.fetch_add(1, std::memory_order_relaxed);
           }
+          if (stats->fault != wasp::FaultKind::kNone) {
+            // Propagate the fault on the task's outcome so the executor
+            // classifies this job as faulted (and still releases the route's
+            // quota slot — a fault storm must not wedge its key).
+            ctr.faulted.fetch_add(1, std::memory_order_relaxed);
+            outcome.fault = stats->fault;
+          }
           ctr.modeled_cycles.fetch_add(stats->modeled_cycles, std::memory_order_relaxed);
           ctr.io_exits.fetch_add(stats->io_exits, std::memory_order_relaxed);
         } else {
@@ -413,7 +438,7 @@ std::future<vbase::Result<ServeStats>> ConcurrentHttpServer::Dispatch(
         }
         ctr.completed.fetch_add(1, std::memory_order_relaxed);
         done->set_value(std::move(stats));
-        return wasp::RunOutcome{};
+        return outcome;
       },
       /*future=*/nullptr, std::move(key), klass, &admission);
   if (!accepted) {
@@ -445,6 +470,7 @@ ServerCounters ConcurrentHttpServer::counters(ServeMode mode) const {
   out.quota_rejected = ctr.quota_rejected.load(std::memory_order_relaxed);
   out.completed = ctr.completed.load(std::memory_order_relaxed);
   out.errors = ctr.errors.load(std::memory_order_relaxed);
+  out.faulted = ctr.faulted.load(std::memory_order_relaxed);
   out.status_2xx = ctr.status_2xx.load(std::memory_order_relaxed);
   out.status_4xx = ctr.status_4xx.load(std::memory_order_relaxed);
   out.status_5xx = ctr.status_5xx.load(std::memory_order_relaxed);

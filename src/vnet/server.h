@@ -55,6 +55,11 @@ const char* ServeModeName(ServeMode mode);
 
 struct ServeStats {
   int status = 0;               // HTTP status returned
+  // Non-kNone when the guest faulted mid-request: the connection was
+  // answered 500 with the fault kind as the reason phrase, the shell was
+  // quarantined, and the front end counts the request as faulted rather
+  // than errored (the server itself is healthy — one invocation died).
+  wasp::FaultKind fault = wasp::FaultKind::kNone;
   uint64_t modeled_cycles = 0;  // end-to-end modeled cost of handling
   uint64_t guest_cycles = 0;
   uint64_t io_exits = 0;
@@ -118,6 +123,7 @@ struct ServerCounters {
   uint64_t quota_rejected = 0; // connections shed with a 429 (route quota)
   uint64_t completed = 0;      // handler ran to completion (any status)
   uint64_t errors = 0;         // handler returned a non-OK status
+  uint64_t faulted = 0;        // guest faulted; answered 500-with-reason
   uint64_t status_2xx = 0;
   uint64_t status_4xx = 0;
   uint64_t status_5xx = 0;
@@ -170,6 +176,7 @@ class ConcurrentHttpServer {
     std::atomic<uint64_t> quota_rejected{0};
     std::atomic<uint64_t> completed{0};
     std::atomic<uint64_t> errors{0};
+    std::atomic<uint64_t> faulted{0};
     std::atomic<uint64_t> status_2xx{0};
     std::atomic<uint64_t> status_4xx{0};
     std::atomic<uint64_t> status_5xx{0};

@@ -204,8 +204,19 @@ vbase::Result<Vespid::ReplayResult> Vespid::ReplayBurstyLoad(
     cold.reserve(futures.size());
     double warm_sum = 0;
     double cold_sum = 0;
+    uint64_t warm_count = 0;
     for (std::future<wasp::RunOutcome>& f : futures) {
       wasp::RunOutcome outcome = f.get();
+      if (outcome.fault != wasp::FaultKind::kNone) {
+        // One invocation died (chaos or a real guest fault); the platform
+        // did not.  It still occupied a lane for its measured service, so it
+        // replays as load — but a fault-shortened run must not skew the
+        // warm/cold service means.
+        ++replay.faulted_invocations;
+        service_us.push_back(vbase::CyclesToMicros(outcome.stats.total_cycles));
+        cold.push_back(!outcome.stats.restored_snapshot);
+        continue;
+      }
       if (!outcome.status.ok()) {
         return outcome.status;
       }
@@ -217,10 +228,10 @@ vbase::Result<Vespid::ReplayResult> Vespid::ReplayBurstyLoad(
         ++replay.cold_invocations;
         cold_sum += us;
       } else {
+        ++warm_count;
         warm_sum += us;
       }
     }
-    const uint64_t warm_count = service_us.size() - replay.cold_invocations;
     replay.measured_warm_us = warm_count > 0 ? warm_sum / static_cast<double>(warm_count) : 0;
     replay.measured_cold_us =
         replay.cold_invocations > 0 ? cold_sum / static_cast<double>(replay.cold_invocations)
@@ -299,13 +310,19 @@ vbase::Result<MeasuredTrace> Vespid::MeasureMultiTenant(const std::vector<Tenant
     }
     trace.service_us.reserve(futures.size());
     trace.cold.reserve(futures.size());
+    trace.faulted.reserve(futures.size());
     for (std::future<wasp::RunOutcome>& f : futures) {
       wasp::RunOutcome outcome = f.get();
-      if (!outcome.status.ok()) {
+      // A faulted invocation is trace data, not a measuring failure: it
+      // consumed a lane and real service before its shell was quarantined,
+      // so it replays as load with the faulted flag set.  Only a clean
+      // host-side error (no fault classified) aborts the measuring run.
+      if (outcome.fault == wasp::FaultKind::kNone && !outcome.status.ok()) {
         return outcome.status;
       }
       trace.service_us.push_back(vbase::CyclesToMicros(outcome.stats.total_cycles));
       trace.cold.push_back(!outcome.stats.restored_snapshot);
+      trace.faulted.push_back(outcome.fault != wasp::FaultKind::kNone);
     }
   }
   trace.wall_ns = timer.ElapsedNanos();
@@ -414,7 +431,12 @@ GovernedReplay GovernTrace(const MeasuredTrace& trace, const GovernanceOptions& 
   }
   dispatch_until(std::numeric_limits<double>::infinity());
 
-  // Per-tenant aggregation + the merged Figure-15-currency timeline.
+  // Per-tenant aggregation + the merged Figure-15-currency timeline.  A
+  // faulted arrival held its lane for its measured service (the load is
+  // real), but it is a casualty, not a completion: it counts per tenant as
+  // faulted and stays out of the wait/latency distributions — so a fault
+  // storm on one key shows up as that tenant's fault_rate while the
+  // co-tenants' percentiles measure only what they actually experienced.
   std::vector<ServedEvent> events;
   events.reserve(n);
   std::vector<std::vector<double>> waits(trace.names.size());
@@ -426,6 +448,11 @@ GovernedReplay GovernTrace(const MeasuredTrace& trace, const GovernanceOptions& 
     }
     const size_t t = static_cast<size_t>(trace.tenant[i]);
     TenantOutcome& tenant = replay.tenants[t];
+    if (i < trace.faulted.size() && trace.faulted[i]) {
+      ++tenant.faulted;
+      last_done = std::max(last_done, done_us[i]);  // the lane was occupied
+      continue;
+    }
     ++tenant.completed;
     ++total_completed;
     if (trace.cold[i]) {
@@ -451,6 +478,8 @@ GovernedReplay GovernTrace(const MeasuredTrace& trace, const GovernanceOptions& 
     if (tenant.offered > 0) {
       tenant.shed_rate = static_cast<double>(tenant.shed_quota + tenant.shed_overload) /
                          static_cast<double>(tenant.offered);
+      tenant.fault_rate =
+          static_cast<double>(tenant.faulted) / static_cast<double>(tenant.offered);
       const double admitted_fraction =
           static_cast<double>(tenant.completed) / static_cast<double>(tenant.offered);
       fairness_num += admitted_fraction;

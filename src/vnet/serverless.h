@@ -91,6 +91,12 @@ struct MeasuredTrace {
   std::vector<int> tenant;                 // arrival -> tenant index
   std::vector<double> service_us;          // measured modeled service cost
   std::vector<bool> cold;                  // arrival booted instead of restored
+  // Arrival's invocation died with a FaultKind (chaos injection or a real
+  // guest fault).  A faulted arrival consumed real service — it occupied a
+  // lane and its quota slot until it died — so GovernTrace replays it as
+  // load, but counts it per tenant instead of as a completion.  May be
+  // empty (hand-built traces): treated as all-false.
+  std::vector<bool> faulted;
   uint64_t wall_ns = 0;                    // real elapsed time of the measuring run
 };
 
@@ -121,7 +127,9 @@ struct GovernanceOptions {
 struct TenantOutcome {
   std::string name;
   uint64_t offered = 0;        // arrivals in the trace
-  uint64_t completed = 0;      // admitted and served
+  uint64_t completed = 0;      // admitted and served fault-free
+  uint64_t faulted = 0;        // admitted, occupied a lane, died with a fault
+  double fault_rate = 0;       // faulted / offered
   uint64_t shed_quota = 0;     // rejected by the per-key quota
   uint64_t shed_overload = 0;  // rejected by the global queue bound
   double shed_rate = 0;        // (shed_quota + shed_overload) / offered
@@ -202,6 +210,11 @@ class Vespid {
     double measured_warm_us = 0;   // mean measured service of warm invocations
     double measured_cold_us = 0;   // mean measured service of cold invocations
     uint64_t cold_invocations = 0;
+    // Invocations that died with a FaultKind (chaos injection): they still
+    // occupy their virtual lane for their measured service (the shell was
+    // quarantined after real work), but are excluded from the warm/cold
+    // service means so fault-shortened runs cannot skew them.
+    uint64_t faulted_invocations = 0;
     uint64_t wall_ns = 0;          // real elapsed time of the replay
   };
 

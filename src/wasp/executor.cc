@@ -259,10 +259,19 @@ void Executor::WorkerLoop(uint32_t worker_index) {
     }
     cv_space_.notify_one();
     last_key = job.key;
-    job.promise.set_value(job.work());
+    RunOutcome outcome = job.work();
+    // Classify before resolving the future (the outcome moves away): a
+    // faulted invocation counts separately, and its key-quota slot is
+    // released just the same — faults must never wedge a key's quota.
+    const bool faulted = outcome.fault != FaultKind::kNone;
+    job.promise.set_value(std::move(outcome));
     {
       std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.completed;
+      if (faulted) {
+        ++stats_.faulted;
+      } else {
+        ++stats_.completed;
+      }
       --in_flight_;
       if (!job.key.empty()) {
         auto it = key_load_.find(job.key);

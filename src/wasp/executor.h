@@ -131,12 +131,15 @@ struct ExecutorOptions {
 // Monotone admission/progress counters (BatchStats' sibling for the
 // long-lived submission path), plus two gauges snapshotted under the same
 // lock so accounting invariants are checkable at any observation point:
-//   submitted == completed + queued + in_flight
+//   submitted == completed + faulted + queued + in_flight
+// A faulted completion still releases its key-quota slot (queued +
+// in-flight), so a fault storm on one key can never wedge that key's quota.
 struct ExecutorStats {
   uint64_t submitted = 0;         // jobs accepted into the queue
   uint64_t rejected = 0;          // jobs refused: global queue full or shutdown
   uint64_t quota_rejected = 0;    // jobs refused: per-key quota (never enqueued)
-  uint64_t completed = 0;         // jobs run to completion
+  uint64_t completed = 0;         // jobs run to a fault-free completion
+  uint64_t faulted = 0;           // jobs whose invocation died with a FaultKind
   uint64_t peak_queue_depth = 0;  // high-water mark of the queue (both classes)
   uint64_t dequeued_latency = 0;  // jobs dequeued from the latency class
   uint64_t dequeued_batch = 0;    // jobs dequeued from the batch class

@@ -767,6 +767,27 @@ void Pool::ReleaseAffine(std::unique_ptr<vkvm::Vm> vm, uint64_t generation,
   EnforceAffineBudget();
 }
 
+void Pool::Quarantine(std::unique_ptr<vkvm::Vm> vm) {
+  // Counted as a release for acquire/release conservation: every acquired
+  // shell goes back through exactly one of Release / ReleaseAffine /
+  // Quarantine.
+  stats_.releases.fetch_add(1, std::memory_order_relaxed);
+  stats_.quarantined.fetch_add(1, std::memory_order_relaxed);
+  if (options_.mode != CleanMode::kAsync) {
+    // No cleaner crew to scrub it: destroy the context outright.  Sync mode
+    // deliberately does NOT clean-and-repool inline — quarantine reclamation
+    // is the crew's job, and paying vm_create for the replacement is the
+    // price of a fault, not of the fast path.
+    stats_.quarantine_destroyed.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ShellNode* node = WrapShell(std::move(vm), 0, 0, nullptr);
+  // Count before push (the DrainCleaner contract, as with dirty_count_).
+  quarantine_count_.fetch_add(1);
+  quarantine_.Push(node);
+  cleaner_cv_.notify_one();
+}
+
 std::unique_ptr<vkvm::Vm> Pool::StealParkedAffine(uint64_t generation) {
   if (generation == 0 || affine_count_.load(std::memory_order_relaxed) <= 0) {
     return nullptr;
@@ -809,6 +830,27 @@ std::unique_ptr<vkvm::Vm> Pool::PopDirty(size_t home, size_t* source_shard) {
 
 void Pool::CleanerLoop(size_t home) {
   while (true) {
+    // Quarantined shells first: they are the rarest and the only ones whose
+    // reclamation gates correctness (a dirty shell merely delays reuse; a
+    // quarantined one holds a faulted invocation's state).  Transfer to
+    // in-flight before dropping the count, as with PopDirty, so DrainCleaner
+    // never observes a false drain.
+    if (ShellNode* qnode = quarantine_.Pop(); qnode != nullptr) {
+      cleaning_in_flight_.fetch_add(1);
+      quarantine_count_.fetch_sub(1);
+      std::unique_ptr<vkvm::Vm> qvm = UnwrapShell(qnode);
+      // Full scrub: ZeroDirtyPages drops any COW base and clears the
+      // privatized set, so nothing of the faulted tenant — image, writes,
+      // snapshot mapping — survives into the readmitted shell.
+      CleanShell(qvm.get(), /*charge_inline=*/false);
+      // Readmit via the home shard's free stack only after the scrub; a
+      // quarantined shell never touches a lane slot.
+      ParkClean(std::move(qvm), home, /*try_lane=*/false);
+      stats_.quarantine_scrubbed.fetch_add(1, std::memory_order_relaxed);
+      cleaning_in_flight_.fetch_sub(1);
+      drain_cv_.notify_all();
+      continue;
+    }
     size_t source = home;
     std::unique_ptr<vkvm::Vm> vm = PopDirty(home, &source);
     if (vm == nullptr) {
@@ -819,8 +861,9 @@ void Pool::CleanerLoop(size_t home) {
       // Timed wait: the release path notifies without holding cleaner_mu_
       // (it is lock-free), so a notify can race a wait entry and be missed;
       // the timeout bounds that stall instead of a mutex closing it.
-      cleaner_cv_.wait_for(lock, std::chrono::milliseconds(1),
-                           [&] { return stop_.load() || dirty_count_.load() > 0; });
+      cleaner_cv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
+        return stop_.load() || dirty_count_.load() > 0 || quarantine_count_.load() > 0;
+      });
       continue;
     }
     CleanShell(vm.get(), /*charge_inline=*/false);
@@ -837,7 +880,8 @@ void Pool::DrainCleaner() {
     return;
   }
   std::unique_lock<std::mutex> lock(cleaner_mu_);
-  while (!(dirty_count_.load() == 0 && cleaning_in_flight_.load() == 0)) {
+  while (!(dirty_count_.load() == 0 && quarantine_count_.load() == 0 &&
+           cleaning_in_flight_.load() == 0)) {
     // Timed wait for the same reason as the cleaners': the completion
     // notify is sent without the mutex.
     drain_cv_.wait_for(lock, std::chrono::milliseconds(1));
@@ -921,6 +965,11 @@ PoolStats Pool::stats() const {
   out.affine_resident_bytes = stats_.affine_resident_bytes.load(std::memory_order_relaxed);
   out.affine_shared_bytes = stats_.affine_shared_bytes.load(std::memory_order_relaxed);
   out.affine_private_bytes = stats_.affine_private_bytes.load(std::memory_order_relaxed);
+  out.quarantined = stats_.quarantined.load(std::memory_order_relaxed);
+  out.quarantine_scrubbed = stats_.quarantine_scrubbed.load(std::memory_order_relaxed);
+  out.quarantine_destroyed = stats_.quarantine_destroyed.load(std::memory_order_relaxed);
+  const int64_t qnow = quarantine_count_.load(std::memory_order_relaxed);
+  out.quarantined_now = qnow > 0 ? static_cast<uint64_t>(qnow) : 0;
   return out;
 }
 

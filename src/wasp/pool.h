@@ -124,6 +124,16 @@ struct PoolStats {
   uint64_t affine_resident_bytes = 0;
   uint64_t affine_shared_bytes = 0;   // gauge: extent chains, once per live generation
   uint64_t affine_private_bytes = 0;  // gauge: per-shell privatized pages
+  // Quarantine counters (faulted invocations).  A quarantined shell is never
+  // parked affine and never pushed to the lock-free free stacks; only a
+  // cleaner-crew full scrub readmits it (async mode), or it is destroyed
+  // outright (sync / no pooling — there is no crew to scrub it).
+  // Conservation: quarantined == quarantine_scrubbed + quarantine_destroyed
+  // + quarantined_now (exact at quiescence, like the residency gauge).
+  uint64_t quarantined = 0;            // shells handed to Quarantine()
+  uint64_t quarantine_scrubbed = 0;    // scrubbed + readmitted by the crew
+  uint64_t quarantine_destroyed = 0;   // destroyed (no crew to scrub)
+  uint64_t quarantined_now = 0;        // gauge: awaiting the crew's scrub
 };
 
 // Acquire-latency summary from the pool's log2-bucketed histogram: wall
@@ -217,6 +227,17 @@ class Pool {
   // base is charged its full guest memory and should pass shared_bytes == 0.
   void ReleaseAffine(std::unique_ptr<vkvm::Vm> vm, uint64_t generation,
                      uint64_t shared_bytes = 0);
+
+  // Returns a shell whose invocation *faulted* (guest trap, denied or
+  // illegal hypercall, poisoned restore, runaway, worker death).  The shell
+  // is in an unknown state, so it takes the strictest path back: it is never
+  // parked snapshot-affine and never pushed onto a lock-free free stack —
+  // in async mode it waits on a dedicated quarantine queue until the cleaner
+  // crew has fully scrubbed it (every dirty page zeroed, vCPU reset); with
+  // no crew (sync / no pooling) it is destroyed outright.  Either way no
+  // later acquire can observe the faulted state: the blast radius of a
+  // fault is the one invocation that died.
+  void Quarantine(std::unique_ptr<vkvm::Vm> vm);
 
   // Pops one shell parked under `generation` (any lane/shard, any mem size)
   // without any clean-shell or fresh-create fallback: nullptr when nothing
@@ -425,6 +446,13 @@ class Pool {
   std::condition_variable drain_cv_;    // DrainCleaner sleeps here
   std::atomic<int64_t> dirty_count_{0};
   std::atomic<int64_t> cleaning_in_flight_{0};
+  // Quarantined shells awaiting the crew's scrub.  A single global stack:
+  // quarantine is the fault path, never a throughput path, and one queue
+  // keeps the "never on a free stack until scrubbed" property trivially
+  // auditable.  Counted (quarantine_count_) before push, like dirty_count_,
+  // so DrainCleaner covers it.
+  TaggedStack<ShellNode> quarantine_;
+  std::atomic<int64_t> quarantine_count_{0};
   // Parked affine shells across all lanes/shards.  A zero read lets
   // acquires skip the affine probes entirely — the common case when nothing
   // is parked.
@@ -463,6 +491,9 @@ class Pool {
     std::atomic<uint64_t> affine_resident_bytes{0};
     std::atomic<uint64_t> affine_shared_bytes{0};
     std::atomic<uint64_t> affine_private_bytes{0};
+    std::atomic<uint64_t> quarantined{0};
+    std::atomic<uint64_t> quarantine_scrubbed{0};
+    std::atomic<uint64_t> quarantine_destroyed{0};
   };
   mutable AtomicStats stats_;
 };

@@ -30,7 +30,11 @@ PoolOptions MakePoolOptions(const RuntimeOptions& options) {
 }  // namespace
 
 Runtime::Runtime(RuntimeOptions options)
-    : options_(std::move(options)), pool_(MakePoolOptions(options_)) {}
+    : options_(std::move(options)), pool_(MakePoolOptions(options_)) {
+  if (!options_.fault_plan.empty()) {
+    injector_ = std::make_unique<FaultInjector>(options_.fault_plan);
+  }
+}
 
 Runtime::~Runtime() = default;
 
@@ -237,7 +241,15 @@ vbase::Result<int64_t> Runtime::Dispatch(uint16_t port, HypercallFrame& frame) {
     case kHcReturnData: {
       const uint64_t va = frame.arg(0);
       const uint64_t len = frame.arg(1);
-      if (len > kMaxIoLen) {
+      if (len > kMaxIoLen || frame.inject_oversized_reply) {
+        frame.fault = FaultKind::kOversizedReply;
+        if (frame.inject_oversized_reply) {
+          frame.inject_oversized_reply = false;
+          if (injector_ != nullptr) {
+            injector_->RecordInjected(FaultKind::kOversizedReply);
+          }
+          return vbase::InvalidArgument("return_data too large (injected oversized reply)");
+        }
         return vbase::InvalidArgument("return_data too large");
       }
       const size_t off = frame.outcome.output.size();
@@ -336,6 +348,11 @@ RunOutcome Runtime::Invoke(const VirtineSpec& spec) {
   vbase::WallTimer total_timer;
   VB_CHECK(spec.image != nullptr, "VirtineSpec.image must be set");
 
+  // Consult the fault plan once per invocation; kNone on the (default)
+  // no-plan path costs one branch.
+  const FaultKind armed =
+      injector_ != nullptr ? injector_->Arm(spec.key) : FaultKind::kNone;
+
   // Resolve the snapshot first: it decides the load path.
   SnapshotRef snap;
   if (spec.use_snapshot && !spec.key.empty()) {
@@ -361,6 +378,23 @@ RunOutcome Runtime::Invoke(const VirtineSpec& spec) {
   // --- Load state: snapshot restore or image boot ------------------------
   vbase::WallTimer load_timer;
   if (snap != nullptr && snap->mem_size <= vm->memory().size()) {
+    // Integrity gate: an injected poison (chaos) or a genuine checksum
+    // mismatch (verify_restores) means the shell may hold a half-laid image
+    // — quarantine it rather than reason about how far the restore got.
+    const bool poisoned = armed == FaultKind::kPoisonedSnapshot ||
+                          (options_.verify_restores && !VerifySnapshot(*snap));
+    if (poisoned) {
+      if (armed == FaultKind::kPoisonedSnapshot) {
+        injector_->RecordInjected(FaultKind::kPoisonedSnapshot);
+      }
+      outcome.fault = FaultKind::kPoisonedSnapshot;
+      outcome.status = vbase::Internal("poisoned snapshot: checksum mismatch restoring key '" +
+                                       spec.key + "'");
+      pool_.Quarantine(std::move(vm));
+      outcome.stats.load_ns = load_timer.ElapsedNanos();
+      outcome.stats.total_ns = total_timer.ElapsedNanos();
+      return outcome;
+    }
     RestoreSnapshot(*vm, *snap, affine, &outcome.stats);
   } else {
     if (affine) {
@@ -408,13 +442,55 @@ RunOutcome Runtime::Invoke(const VirtineSpec& spec) {
   vbase::WallTimer run_timer;
   HostEnv* env = spec.env != nullptr ? spec.env : &env_;
   HypercallFrame frame(*vm, *this, spec, outcome, env);
+  // Injection delivery.  A guest trap is armed on the vCPU (delivered by the
+  // next Run(), after any snapshot restore so RestoreArch cannot clear it);
+  // an oversized reply flips the frame flag consumed by return_data; the
+  // hypercall-shaped kinds fire at the first I/O exit below.
+  FaultKind pending_io_fault = FaultKind::kNone;
+  switch (armed) {
+    case FaultKind::kGuestTrap:
+      vm->InjectGuestFault("injected guest trap (chaos)");
+      injector_->RecordInjected(FaultKind::kGuestTrap);
+      break;
+    case FaultKind::kOversizedReply:
+      frame.inject_oversized_reply = true;
+      break;
+    case FaultKind::kWorkerDeath:
+    case FaultKind::kIllegalHypercall:
+    case FaultKind::kPolicyDenied:
+      pending_io_fault = armed;
+      break;
+    default:
+      break;
+  }
   while (true) {
     const uint64_t used = vm->cpu().insns_retired();
     if (used >= spec.max_insns) {
+      outcome.fault = FaultKind::kRunaway;
       outcome.status = vbase::Aborted("instruction budget exhausted (runaway virtine)");
       break;
     }
     vkvm::RunResult run = vm->Run(spec.max_insns - used);
+    if (pending_io_fault != FaultKind::kNone &&
+        (run.reason == vkvm::ExitReason::kIo || run.reason == vkvm::ExitReason::kHlt)) {
+      // The invocation dies at its first exit boundary, mid-flight: its
+      // first hypercall, or the final hlt for guests that never take one.
+      const FaultKind inject = pending_io_fault;
+      pending_io_fault = FaultKind::kNone;
+      injector_->RecordInjected(inject);
+      outcome.fault = inject;
+      if (inject == FaultKind::kWorkerDeath) {
+        outcome.status = vbase::Aborted("worker death injected mid-invocation");
+      } else if (inject == FaultKind::kIllegalHypercall) {
+        outcome.status = vbase::Unimplemented("illegal hypercall injected at port " +
+                                              std::to_string(run.port));
+      } else {
+        outcome.denied = true;
+        outcome.status = vbase::PermissionDenied("hypercall " + std::to_string(run.port) +
+                                                 " denied by injected policy");
+      }
+      break;
+    }
     if (run.reason == vkvm::ExitReason::kHlt) {
       break;
     }
@@ -428,12 +504,23 @@ RunOutcome Runtime::Invoke(const VirtineSpec& spec) {
       if (port != kHcExit && port != kHcSnapshot && port < kMaxHypercall &&
           (spec.policy & MaskOf(port)) == 0) {
         outcome.denied = true;
+        outcome.fault = FaultKind::kPolicyDenied;
         outcome.status = vbase::PermissionDenied(
             "hypercall " + std::to_string(port) + " denied by policy; virtine terminated");
         break;
       }
       auto result = Dispatch(port, frame);
       if (!result.ok()) {
+        // Structured classification: a handler that tagged the frame wins;
+        // otherwise an unknown port is an illegal hypercall and anything
+        // else is a handler failure.  The message stays for logs.
+        if (frame.fault != FaultKind::kNone) {
+          outcome.fault = frame.fault;
+        } else if (result.status().code() == vbase::Code::kUnimplemented) {
+          outcome.fault = FaultKind::kIllegalHypercall;
+        } else {
+          outcome.fault = FaultKind::kHypercallError;
+        }
         outcome.status = result.status();
         break;
       }
@@ -445,13 +532,16 @@ RunOutcome Runtime::Invoke(const VirtineSpec& spec) {
       continue;
     }
     if (run.reason == vkvm::ExitReason::kInsnLimit) {
+      outcome.fault = FaultKind::kRunaway;
       outcome.status = vbase::Aborted("instruction budget exhausted (runaway virtine)");
       break;
     }
     if (run.reason == vkvm::ExitReason::kBrk) {
+      outcome.fault = FaultKind::kGuestTrap;
       outcome.status = vbase::Aborted("guest breakpoint");
       break;
     }
+    outcome.fault = FaultKind::kGuestTrap;
     outcome.status = vbase::Internal("guest fault: " + run.fault);
     break;
   }
@@ -473,9 +563,16 @@ RunOutcome Runtime::Invoke(const VirtineSpec& spec) {
   outcome.stats.io_exits = vm->cpu().io_exits();
   outcome.stats.insns = vm->cpu().insns_retired();
 
-  // --- Release the shell: a snapshot-backed run parks it snapshot-affine
+  // --- Release the shell: a faulted invocation quarantines it (never parked
+  // affine, never pushed to the lock-free free stack — only a cleaner-crew
+  // scrub readmits it).  A clean snapshot-backed run parks it snapshot-affine
   // (no zeroing; the epoch bitmap records the delta for the next restore),
   // anything else goes back through the cleaning path. --------------------
+  if (outcome.fault != FaultKind::kNone) {
+    pool_.Quarantine(std::move(vm));
+    outcome.stats.total_ns = total_timer.ElapsedNanos();
+    return outcome;
+  }
   uint64_t park_generation = 0;
   uint64_t park_shared_bytes = 0;
   if (options_.snapshot_affinity && outcome.status.ok()) {

@@ -32,6 +32,7 @@
 #include "src/isa/image.h"
 #include "src/wasp/abi.h"
 #include "src/wasp/channel.h"
+#include "src/wasp/fault.h"
 #include "src/wasp/host_env.h"
 #include "src/wasp/pool.h"
 #include "src/wasp/snapshot.h"
@@ -70,6 +71,11 @@ struct InvokeStats {
 // The result of one virtine invocation.
 struct RunOutcome {
   vbase::Status status;          // non-OK on fault, denial, or handler error
+  // Structured classification of why the invocation died (kNone = it
+  // completed; the status may still be non-OK for host-side errors like a
+  // failed image load, which do not quarantine the shell).  The status
+  // message keeps the human-readable detail for logs.
+  FaultKind fault = FaultKind::kNone;
   bool denied = false;           // a hypercall was denied by policy
   uint64_t exit_code = 0;        // from the exit hypercall (0 for plain hlt)
   uint64_t result_word = 0;      // argument-page word 0 (the return value)
@@ -101,6 +107,12 @@ struct HypercallFrame {
   // `resident_shared_bytes` (the extent chain) once per generation.
   uint64_t resident_generation = 0;
   uint64_t resident_shared_bytes = 0;
+  // Structured fault classification set by handlers (e.g. an oversized
+  // reply); folded into the outcome when the dispatch fails.
+  FaultKind fault = FaultKind::kNone;
+  // Chaos injection: the next return_data hypercall is treated as exceeding
+  // the I/O ceiling regardless of its actual length.
+  bool inject_oversized_reply = false;
   // Per-invocation fd table for the file hypercalls.
   FdTable fds;
 
@@ -174,6 +186,14 @@ struct RuntimeOptions {
   // into a single parentless layer instead of growing the chain.
   int chain_max_depth = 4;
   double chain_flatten_slack = 1.5;
+  // Deterministic fault injection (chaos testing): rules fire at exact
+  // invocation indices or with seeded probabilities.  Empty = no injection
+  // (zero cost on the invoke path).
+  FaultPlan fault_plan;
+  // Verify the snapshot checksum on every restore; a mismatch classifies as
+  // kPoisonedSnapshot and quarantines the shell.  Off by default: snapshots
+  // are immutable in-process, so this guards against bugs, not physics.
+  bool verify_restores = false;
 };
 
 // What Runtime::RecaptureSnapshot did.
@@ -237,6 +257,8 @@ class Runtime {
   SnapshotStore& snapshots() { return snapshots_; }
   HostEnv& env() { return env_; }
   const RuntimeOptions& options() const { return options_; }
+  // Null when no fault plan is configured.
+  FaultInjector* fault_injector() { return injector_.get(); }
 
   // Builds a VmConfig for `mem_size` from the runtime defaults.
   vkvm::VmConfig MakeVmConfig(uint64_t mem_size) const;
@@ -260,6 +282,8 @@ class Runtime {
   Pool pool_;
   SnapshotStore snapshots_;
   HostEnv env_;
+  // Non-null iff options_.fault_plan has rules.
+  std::unique_ptr<FaultInjector> injector_;
   // Lazily constructed InvokeAsync worker pool; declared last so it joins
   // (and drains in-flight invocations) before the pool it drives shuts down.
   std::once_flag executor_once_;

@@ -46,6 +46,18 @@ std::shared_ptr<vhw::ExtentBuffer> BuildExtents(const vhw::GuestMemory& mem,
 
 uint64_t NextSnapshotGeneration() { return g_generation.fetch_add(1); }
 
+uint64_t ChecksumExtentBytes(const vhw::ExtentBuffer& extent) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  for (const uint8_t b : extent.bytes) {
+    h = (h ^ b) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool VerifySnapshot(const Snapshot& snap) {
+  return snap.extent != nullptr && ChecksumExtentBytes(*snap.extent) == snap.checksum;
+}
+
 SnapshotRef CaptureSnapshot(const vhw::GuestMemory& mem, const vhw::ArchState& cpu) {
   auto snap = std::make_shared<Snapshot>();
   snap->cpu = cpu;
@@ -59,6 +71,7 @@ SnapshotRef CaptureSnapshot(const vhw::GuestMemory& mem, const vhw::ArchState& c
     }
   }
   snap->extent = BuildExtents(mem, pages);
+  snap->checksum = ChecksumExtentBytes(*snap->extent);
   return snap;
 }
 
@@ -77,6 +90,7 @@ SnapshotRef CaptureDeltaSnapshot(const vhw::GuestMemory& mem, const Snapshot& pa
   // restore target is never too small for it.
   snap->mem_size = std::max(parent.mem_size, buffer->end_page() << vhw::kPageBits);
   snap->extent = std::move(buffer);
+  snap->checksum = ChecksumExtentBytes(*snap->extent);
   return snap;
 }
 
@@ -84,6 +98,8 @@ SnapshotRef FlattenSnapshot(const Snapshot& snap) {
   auto flat = std::make_shared<Snapshot>(snap);
   flat->extent = vhw::FlattenChain(snap.extent);
   flat->parent_generation = 0;
+  // The flattened layer holds different bytes (the collapsed chain view).
+  flat->checksum = ChecksumExtentBytes(*flat->extent);
   return flat;
 }
 

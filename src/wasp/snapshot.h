@@ -63,6 +63,10 @@ struct Snapshot {
   // their COW base, so the buffer outlives the snapshot while any shell or
   // child chain still references it.
   vhw::ExtentBufferRef extent;
+  // FNV-1a over this layer's captured bytes, set at capture time.  Restores
+  // can verify it (RuntimeOptions::verify_restores) to catch a poisoned
+  // extent buffer before laying it into a shell.
+  uint64_t checksum = 0;
 
   // Bytes captured in this snapshot's own layer (the delta, for a child).
   uint64_t byte_size() const { return extent->byte_size(); }
@@ -101,6 +105,14 @@ SnapshotRef CaptureDeltaSnapshot(const vhw::GuestMemory& mem, const Snapshot& pa
 // parentless layer: same page view and generation, no shadowed parent
 // bytes, depth 1.
 SnapshotRef FlattenSnapshot(const Snapshot& snap);
+
+// FNV-1a over an extent buffer's own bytes (one chain layer).
+uint64_t ChecksumExtentBytes(const vhw::ExtentBuffer& extent);
+
+// Recomputes `snap`'s layer checksum and compares it against the recorded
+// one.  False means the extent bytes were corrupted after capture (a
+// "poisoned" snapshot) and the restore must not proceed.
+bool VerifySnapshot(const Snapshot& snap);
 
 // Replays every extent (whole chain, root first) into `mem` (which the
 // caller guarantees is clean / all-zero outside the extents).  Marks the

@@ -288,6 +288,59 @@ TEST(ConcurrentServer, RouteQuotaShedsWith429WhileOverloadSheds503) {
   EXPECT_EQ(xstats.dequeued_batch, 2u);  // the /hot route is batch-classed
 }
 
+TEST(ConcurrentServer, GuestFaultAnswers500WithReasonAndCountsFaulted) {
+  // Every virtine invocation of this runtime takes an injected guest trap:
+  // the connection must be answered with a 500 whose reason phrase names
+  // the FaultKind, counted as faulted (not an error), and classified as a
+  // faulted job on the executor so the route's quota slot is released.
+  wasp::RuntimeOptions roptions;
+  roptions.fault_plan.rules.push_back(
+      wasp::FaultPlan::Probability(wasp::FaultKind::kGuestTrap, 1.0));
+  wasp::Runtime runtime(roptions);
+  wasp::HostEnv files;
+  files.PutFile("/file.txt", std::string(kBodySize, 'q'));
+  vnet::ConcurrentServerOptions options;
+  options.lanes = 2;
+  vnet::ConcurrentHttpServer server(&runtime, &files, options);
+
+  wasp::ByteChannel channel;
+  channel.host().WriteString(kRequest);
+  auto stats = server.SubmitConnection(channel, vnet::ServeMode::kVirtine).get();
+  // A faulted invocation is a *served* connection (the client got an
+  // answer), not a server error.
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->status, 500);
+  EXPECT_EQ(stats->fault, wasp::FaultKind::kGuestTrap);
+  const std::string response = DrainToString(channel);
+  EXPECT_NE(response.find("HTTP/1.0 500 guest-trap"), std::string::npos) << response;
+
+  const vnet::ServerCounters ctr = server.counters(vnet::ServeMode::kVirtine);
+  EXPECT_EQ(ctr.accepted, 1u);
+  EXPECT_EQ(ctr.completed, 1u);
+  EXPECT_EQ(ctr.faulted, 1u);
+  EXPECT_EQ(ctr.status_5xx, 1u);
+  EXPECT_EQ(ctr.errors, 0u);
+  // The executor saw a faulted job, not a completion (the worker publishes
+  // the classification after the future resolves; give it a beat).
+  for (int i = 0; i < 5000 && server.executor_stats().faulted < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const wasp::ExecutorStats xstats = server.executor_stats();
+  EXPECT_EQ(xstats.submitted, 1u);
+  EXPECT_EQ(xstats.faulted, 1u);
+  EXPECT_EQ(xstats.completed, 0u);
+  // The faulted shell was quarantined, never returned to the free pool raw.
+  EXPECT_EQ(runtime.pool().stats().quarantined, 1u);
+
+  // Native mode bypasses the virtine, so the same server still serves it
+  // even under a total guest-fault storm.
+  wasp::ByteChannel native;
+  native.host().WriteString(kRequest);
+  auto native_stats = server.SubmitConnection(native, vnet::ServeMode::kNative).get();
+  ASSERT_TRUE(native_stats.ok());
+  EXPECT_EQ(native_stats->status, 200);
+}
+
 TEST(ConcurrentServer, DestructionDrainsAcceptedConnections) {
   wasp::Runtime runtime;
   wasp::HostEnv files;

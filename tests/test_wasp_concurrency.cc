@@ -1008,6 +1008,66 @@ TEST(Concurrency, LockFreeFastPathMixedOpsConserveAtQuiescePoints) {
   EXPECT_GT(stats.lane_cache_hits + stats.freelist_hits, 0u);
 }
 
+// The fault path under contention: quarantines racing ordinary releases,
+// affine parks, and a mid-run generation retirement.  Every quarantined
+// shell must be scrubbed by the crew and readmitted — never re-parked
+// affine, never destroyed (async mode), never leaked — and the ledger
+// (quarantined == scrubbed + destroyed + pending) must balance exactly at
+// quiescence alongside the pool's shell-conservation invariant.
+TEST(Concurrency, ConcurrentQuarantineConservesShellsAndScrubsAll) {
+  wasp::PoolOptions options;
+  options.mode = wasp::CleanMode::kAsync;
+  options.shards = 4;
+  options.cleaners = 2;
+  options.lanes = kThreads;
+  wasp::Pool pool(options);
+  constexpr uint64_t kGen = 7777;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, t] {
+      wasp::Pool::BindLane(static_cast<uint32_t>(t));
+      vkvm::VmConfig cfg;
+      for (int i = 0; i < kItersPerThread; ++i) {
+        std::unique_ptr<vkvm::Vm> vm;
+        if (i % 3 == 0) {
+          bool affine = false;
+          vm = pool.AcquireAffine(cfg, kGen, &affine);
+        } else {
+          vm = pool.Acquire(cfg);
+        }
+        ASSERT_NE(vm, nullptr);
+        uint8_t b = static_cast<uint8_t>(t + 1);
+        ASSERT_TRUE(vm->memory().Write(0x9000, &b, 1).ok());
+        if (i % 4 == 1) {
+          pool.Quarantine(std::move(vm));  // this iteration's invocation faulted
+        } else if (i % 4 == 3) {
+          vm->memory().BeginEpoch();
+          pool.ReleaseAffine(std::move(vm), kGen);
+        } else {
+          pool.Release(std::move(vm));
+        }
+      }
+    });
+  }
+  // Retire the generation mid-run: quarantines and affine parks racing the
+  // retirement must keep both ledgers exact.
+  threads.emplace_back([&pool] { pool.RetireGeneration(kGen); });
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  pool.DrainCleaner();
+  const wasp::PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.releases, stats.acquires);
+  EXPECT_EQ(stats.quarantined, static_cast<uint64_t>(kThreads * kItersPerThread / 4));
+  EXPECT_EQ(stats.quarantined, stats.quarantine_scrubbed + stats.quarantine_destroyed);
+  EXPECT_EQ(stats.quarantine_destroyed, 0u) << "async crew must scrub, not destroy";
+  EXPECT_EQ(stats.quarantined_now, 0u);
+  // Every shell ever created is parked somewhere clean; none leaked through
+  // the quarantine path.
+  EXPECT_EQ(pool.TotalFreeShells() + pool.TotalAffineShells(), stats.fresh_creates);
+}
+
 // Per-key quota overrides: three tiers submitting against a parked worker,
 // each key capped by its own resolved quota (premium and free are explicit
 // overrides; standard rides the key_quota fallback).
