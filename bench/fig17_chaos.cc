@@ -39,12 +39,27 @@
 //    never drifts upward, and retiring the keys at the end releases every
 //    resident byte.
 //
+// 4. Recovery.  The same 33% storm, with the PR's recovery machinery
+//    engaged.  A closed-loop two-key mix (stormed victim + clean co-tenant)
+//    runs twice through the real executor — retry-once on in both runs,
+//    circuit breaker off (A) vs on (B) — and goodput is fault-free
+//    completions per modeled lane-second.  Without the breaker every
+//    stormed invocation burns a lane, dies, and destroys its shell (sync
+//    quarantine), so its replacement pays vm_create; with the breaker the
+//    victim's storm is shed at the door for free.  Gates: goodput with the
+//    breaker >= 1.5x without; the executor's accounting law holds at every
+//    mid-loop observation including across retries; and the phase-2 storm
+//    trace replayed under GovernTrace's breaker discipline sheds only the
+//    victim while the co-tenant's p99 stays within 2x of its fault-free
+//    control.
+//
 //   ./fig17_chaos            # full run
 //   ./fig17_chaos --quick    # CI smoke (shorter traces, same gates)
 //   ./fig17_chaos --soak     # extended soak rounds (the ci.sh SOAK=1 lane)
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <deque>
 #include <string>
 #include <thread>
 #include <vector>
@@ -249,7 +264,7 @@ int RunContainmentPhase() {
 vnet::GovernedReplay MeasureStorm(const wasp::FaultPlan& plan, bool quick,
                                   wasp::PoolStats* pool_stats,
                                   wasp::FaultInjectorStats* inject_stats,
-                                  int* failures) {
+                                  int* failures, vnet::MeasuredTrace* out_trace) {
   wasp::RuntimeOptions options;
   options.clean_mode = wasp::CleanMode::kAsync;
   options.fault_plan = plan;
@@ -277,6 +292,9 @@ vnet::GovernedReplay MeasureStorm(const wasp::FaultPlan& plan, bool quick,
   governed.lanes = 2;
   governed.batch_weight = 0;
   const vnet::GovernedReplay replay = vnet::GovernTrace(*trace, governed);
+  if (out_trace != nullptr) {
+    *out_trace = std::move(*trace);
+  }
 
   runtime.pool().DrainCleaner();
   if (pool_stats != nullptr) {
@@ -290,13 +308,14 @@ vnet::GovernedReplay MeasureStorm(const wasp::FaultPlan& plan, bool quick,
   return replay;
 }
 
-int RunStormPhase(bool quick) {
+int RunStormPhase(bool quick, vnet::MeasuredTrace* control_trace,
+                  vnet::MeasuredTrace* storm_trace) {
   std::printf("\n=== Phase 2: fault storm on one key, co-tenant p99 within 2x ===\n");
   int failures = 0;
 
   // Control: identical tenants, no injection.
   const vnet::GovernedReplay control =
-      MeasureStorm(wasp::FaultPlan{}, quick, nullptr, nullptr, &failures);
+      MeasureStorm(wasp::FaultPlan{}, quick, nullptr, nullptr, &failures, control_trace);
 
   // Storm: seeded probabilistic guest traps + worker deaths on the victim's
   // snapshot key only.
@@ -309,7 +328,7 @@ int RunStormPhase(bool quick) {
   wasp::PoolStats pool_stats;
   wasp::FaultInjectorStats inject_stats;
   const vnet::GovernedReplay storm =
-      MeasureStorm(plan, quick, &pool_stats, &inject_stats, &failures);
+      MeasureStorm(plan, quick, &pool_stats, &inject_stats, &failures, storm_trace);
 
   vbase::Table table({"run", "tenant", "offered", "completed", "faulted", "fault rate",
                       "p99 wait us"});
@@ -493,6 +512,233 @@ int RunSoakPhase(bool quick, bool soak) {
   return failures;
 }
 
+// --- Phase 4: retry-once + circuit breaker goodput under the storm -----------
+
+// One closed-loop run of the two-key mix: `jobs` submissions, victim twice
+// as often as the co-tenant, window 2x lanes in flight so completions feed
+// the breaker before later submissions arrive.
+struct RecoveryRun {
+  uint64_t offered = 0;
+  uint64_t shed = 0;       // rejected at the door by the open breaker
+  uint64_t executed = 0;   // admitted and ran (possibly retried, possibly died)
+  uint64_t ok = 0;         // fault-free completions (the goodput numerator)
+  uint64_t faulted = 0;
+  uint64_t retries = 0;
+  uint64_t retry_successes = 0;
+  uint64_t breaker_opens = 0;
+  uint64_t fresh_creates = 0;
+  uint64_t total_cycles = 0;  // modeled cycles burned by admitted work
+  double goodput_per_ms = 0;  // ok completions per modeled lane-millisecond
+};
+
+RecoveryRun RunRecoveryLoad(const visa::Image& image, bool breaker, int jobs,
+                            int* failures) {
+  constexpr int kLanes = 4;
+  // Default kSync clean mode: a faulted shell is destroyed outright, so its
+  // replacement pays vm_create — the storm inflates the victim's real
+  // service cost, which is exactly what the breaker refuses to keep buying.
+  wasp::RuntimeOptions options;
+  options.fault_plan.seed = 1789;
+  options.fault_plan.rules.push_back(
+      wasp::FaultPlan::Probability(wasp::FaultKind::kGuestTrap, 0.25, "victim"));
+  options.fault_plan.rules.push_back(
+      wasp::FaultPlan::Probability(wasp::FaultKind::kWorkerDeath, 0.10, "victim"));
+  wasp::Runtime runtime(options);
+  runtime.pool().Prewarm(runtime.MakeVmConfig(2ULL << 20), kLanes + 4);
+
+  wasp::ExecutorOptions eopts;
+  eopts.workers = kLanes;
+  eopts.recovery.idempotent_keys = {"victim", "cotenant"};
+  eopts.recovery.breaker_enabled = breaker;
+  eopts.recovery.breaker_alpha = 0.2;
+  // The storm's steady-state fault rate is ~0.33, so the 0.5 default would
+  // never trip; 0.2 opens within the first EWMA window and re-opens on the
+  // first faulted attempt after a clean probe closes it.
+  eopts.recovery.breaker_open_threshold = 0.2;
+  eopts.recovery.breaker_min_samples = 8;
+  eopts.recovery.breaker_open_sheds = 24;
+  wasp::Executor executor(&runtime, eopts);
+
+  auto make_spec = [&image](const char* key, uint64_t arg) {
+    wasp::VirtineSpec spec;
+    spec.image = &image;
+    spec.key = key;
+    spec.use_snapshot = true;
+    spec.mem_size = 2ULL << 20;
+    spec.word_bytes = 8;
+    wasp::ArgPacker packer(spec.word_bytes);
+    packer.AddWord(arg);
+    spec.args_page = packer.Finish();
+    return spec;
+  };
+
+  RecoveryRun run;
+  std::deque<std::future<wasp::RunOutcome>> window;
+  auto consume = [&run, failures](std::future<wasp::RunOutcome>& future) {
+    const wasp::RunOutcome outcome = future.get();
+    ++run.executed;
+    run.total_cycles += outcome.stats.total_cycles;
+    if (outcome.fault == wasp::FaultKind::kNone) {
+      if (!outcome.status.ok()) {
+        std::printf("FAIL: fault-free invocation failed: %s\n",
+                    outcome.status.ToString().c_str());
+        ++*failures;
+      }
+      ++run.ok;
+    } else {
+      ++run.faulted;
+    }
+  };
+  for (int i = 0; i < jobs; ++i) {
+    // The victim's fib(16) costs ~7x the co-tenant's fib(12): the storm
+    // wastes expensive work, the breaker saves it.
+    const bool is_victim = i % 3 != 2;
+    ++run.offered;
+    std::future<wasp::RunOutcome> future;
+    wasp::Admission admission = wasp::Admission::kAccepted;
+    if (!executor.TrySubmit(make_spec(is_victim ? "victim" : "cotenant",
+                                      is_victim ? 16 : 12),
+                            &future, wasp::KeyClass::kLatency, &admission)) {
+      if (admission != wasp::Admission::kCircuitOpen || !breaker || !is_victim) {
+        std::printf("FAIL: unexpected rejection (admission %d, breaker %d, victim %d)\n",
+                    static_cast<int>(admission), breaker, is_victim);
+        ++*failures;
+      }
+      ++run.shed;
+      continue;
+    }
+    window.push_back(std::move(future));
+    if (window.size() >= 2 * kLanes) {
+      consume(window.front());
+      window.pop_front();
+    }
+    if (i % 16 == 0) {
+      CheckExecutorConservation(executor.stats(), failures);
+    }
+  }
+  while (!window.empty()) {
+    consume(window.front());
+    window.pop_front();
+  }
+
+  const wasp::ExecutorStats stats = QuiescedExecutorStats(executor);
+  CheckExecutorConservation(stats, failures);
+  // The retried-job invariant: every admitted job resolves exactly once,
+  // retries never mint or lose a submission.
+  if (stats.submitted != run.executed || stats.completed + stats.faulted != run.executed ||
+      stats.completed != run.ok || stats.breaker_rejected != run.shed) {
+    std::printf("FAIL: recovery accounting mismatch (submitted %llu executed %llu "
+                "completed %llu ok %llu rejected %llu shed %llu)\n",
+                static_cast<unsigned long long>(stats.submitted),
+                static_cast<unsigned long long>(run.executed),
+                static_cast<unsigned long long>(stats.completed),
+                static_cast<unsigned long long>(run.ok),
+                static_cast<unsigned long long>(stats.breaker_rejected),
+                static_cast<unsigned long long>(run.shed));
+    ++*failures;
+  }
+  run.retries = stats.retries;
+  run.retry_successes = stats.retry_successes;
+  run.breaker_opens = stats.breaker_opens;
+  run.fresh_creates = runtime.pool().stats().fresh_creates;
+  const double lane_ms = vbase::CyclesToMicros(run.total_cycles) / 1e3 / kLanes;
+  run.goodput_per_ms = lane_ms > 0 ? static_cast<double>(run.ok) / lane_ms : 0;
+  return run;
+}
+
+int RunRecoveryPhase(bool quick, const vnet::MeasuredTrace& control_trace,
+                     const vnet::MeasuredTrace& storm_trace) {
+  std::printf("\n=== Phase 4: retry-once + circuit breaker goodput under the storm ===\n");
+  auto image = vrt::BuildImage(vrt::Env::kLong64, vrt::FibSource());
+  VB_CHECK(image.ok(), image.status().ToString());
+  int failures = 0;
+
+  const int jobs = quick ? 300 : 900;
+  const RecoveryRun without = RunRecoveryLoad(*image, /*breaker=*/false, jobs, &failures);
+  const RecoveryRun with = RunRecoveryLoad(*image, /*breaker=*/true, jobs, &failures);
+
+  vbase::Table table({"run", "offered", "shed", "executed", "ok", "faulted", "retries",
+                      "creates", "Mcycles", "goodput ok/lane-ms"});
+  for (const auto& [label, run] :
+       {std::pair<const char*, const RecoveryRun*>{"breaker off", &without},
+        std::pair<const char*, const RecoveryRun*>{"breaker on", &with}}) {
+    table.AddRow({label, std::to_string(run->offered), std::to_string(run->shed),
+                  std::to_string(run->executed), std::to_string(run->ok),
+                  std::to_string(run->faulted), std::to_string(run->retries),
+                  std::to_string(run->fresh_creates),
+                  vbase::Fmt(run->total_cycles / 1e6, 1),
+                  vbase::Fmt(run->goodput_per_ms, 2)});
+  }
+  table.Print();
+
+  if (without.shed != 0 || without.breaker_opens != 0) {
+    std::printf("FAIL: the breaker-off run must never shed\n");
+    ++failures;
+  }
+  if (with.shed == 0 || with.breaker_opens == 0) {
+    std::printf("FAIL: the breaker never tripped under a 33%% storm\n");
+    ++failures;
+  }
+  // The shielded run may legitimately see zero retries: the breaker admits
+  // so few victim jobs that no worker death needs recovering.
+  if (without.retries == 0 || without.retry_successes == 0) {
+    std::printf("FAIL: worker deaths on an idempotent key must drive retries\n");
+    ++failures;
+  }
+  const double ratio = without.goodput_per_ms > 0
+                           ? with.goodput_per_ms / without.goodput_per_ms
+                           : 0;
+  std::printf("\nClaim check: goodput %.2f -> %.2f ok/lane-ms with the breaker "
+              "(%.2fx; gate >= 1.5x); %llu of %llu victim submissions shed, "
+              "%llu retries (%llu recovered) in the unshielded run.\n",
+              without.goodput_per_ms, with.goodput_per_ms, ratio,
+              static_cast<unsigned long long>(with.shed),
+              static_cast<unsigned long long>(with.offered * 2 / 3),
+              static_cast<unsigned long long>(without.retries),
+              static_cast<unsigned long long>(without.retry_successes));
+  if (ratio < 1.5) {
+    std::printf("FAIL: the breaker's goodput win is below the 1.5x gate\n");
+    ++failures;
+  }
+
+  // The phase-2 measured traces replayed under the breaker discipline: only
+  // the stormed victim sheds, and the co-tenant's p99 holds the 2x gate.
+  vnet::GovernanceOptions governed;
+  governed.lanes = 2;
+  governed.batch_weight = 0;
+  governed.recovery.breaker_enabled = true;
+  governed.recovery.breaker_open_threshold = 0.2;
+  governed.recovery.breaker_min_samples = 4;
+  governed.recovery.breaker_open_sheds = 8;
+  const vnet::GovernedReplay control = vnet::GovernTrace(control_trace, governed);
+  const vnet::GovernedReplay storm = vnet::GovernTrace(storm_trace, governed);
+  const vnet::TenantOutcome& victim = storm.tenants[0];
+  const vnet::TenantOutcome& bystander = storm.tenants[1];
+  if (victim.shed_breaker == 0 || victim.breaker_opens == 0) {
+    std::printf("FAIL: the replayed breaker never shed the stormed victim\n");
+    ++failures;
+  }
+  if (bystander.shed_breaker != 0 || control.tenants[0].shed_breaker != 0 ||
+      control.tenants[1].shed_breaker != 0) {
+    std::printf("FAIL: the breaker shed a fault-free tenant\n");
+    ++failures;
+  }
+  const double floor_us = 500.0;
+  const double base_p99 = std::max(control.tenants[1].p99_queue_wait_us, floor_us);
+  std::printf("Claim check: breaker replay shed %llu victim arrivals over %llu opens; "
+              "co-tenant p99 %.0f us vs %.0f us control (%.2fx; gate <= 2x with a "
+              "%.0f us floor).\n",
+              static_cast<unsigned long long>(victim.shed_breaker),
+              static_cast<unsigned long long>(victim.breaker_opens),
+              bystander.p99_queue_wait_us, control.tenants[1].p99_queue_wait_us,
+              bystander.p99_queue_wait_us / base_p99, floor_us);
+  if (bystander.p99_queue_wait_us > 2.0 * base_p99) {
+    std::printf("FAIL: the breaker replay degraded the co-tenant's p99 beyond 2x\n");
+    ++failures;
+  }
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -512,13 +758,17 @@ int main(int argc, char** argv) {
       "stays within 2x of fault-free, and every accounting ledger conserves");
 
   int failures = RunContainmentPhase();
-  failures += RunStormPhase(quick);
+  vnet::MeasuredTrace control_trace;
+  vnet::MeasuredTrace storm_trace;
+  failures += RunStormPhase(quick, &control_trace, &storm_trace);
   failures += RunSoakPhase(quick, soak);
+  failures += RunRecoveryPhase(quick, control_trace, storm_trace);
   if (failures > 0) {
     std::printf("\nFAIL: %d chaos gate(s) violated\n", failures);
     return 1;
   }
   std::printf("\nOK: faults classify, quarantine contains, co-tenants keep their "
-              "latency, and nothing leaks under soak.\n");
+              "latency, retry and the breaker recover goodput, and nothing leaks "
+              "under soak.\n");
   return 0;
 }

@@ -31,7 +31,7 @@ if [[ "${TSAN:-0}" == "1" ]]; then
   # TSan objects don't mix.
   BUILD_DIR="${BUILD_DIR:-build-tsan}"
   TSAN_TESTS=(test_wasp test_wasp_concurrency test_snapshot_engine test_governance
-              test_net test_http_server_concurrency test_fault_injection)
+              test_net test_http_server_concurrency test_fault_injection test_recovery)
   cmake -B "$BUILD_DIR" -S . -DVIRTINES_WERROR="$WERROR" \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
@@ -51,7 +51,7 @@ if [[ "${ASAN:-0}" == "1" ]]; then
   # residency accounting.  Separate build dir: sanitizer objects don't mix.
   BUILD_DIR="${BUILD_DIR:-build-asan}"
   ASAN_TESTS=(test_snapshot_engine test_wasp test_wasp_concurrency test_governance
-              test_cpu test_isa test_fault_injection)
+              test_cpu test_isa test_fault_injection test_recovery)
   cmake -B "$BUILD_DIR" -S . -DVIRTINES_WERROR="$WERROR" \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
@@ -93,11 +93,14 @@ cmake --build "$BUILD_DIR" -j"$(nproc)"
 # recapture/retire loop, and three-tier key_quota_overrides order admission
 # monotonically (premium > standard > free) under one identical flood.
 (cd "$BUILD_DIR" && ./fig16_multitenant --quick)
-# Chaos smoke: fig17's containment/storm/soak gates on shortened runs —
-# every injected FaultKind classifies and quarantines (no faulted shell is
-# ever re-acquired affine, the quarantine ledger balances), a fault storm on
-# one key keeps the co-tenant's p99 within 2x of fault-free, and a paced
-# soak leaves zero gauge drift and zero resident bytes after retirement.
+# Chaos smoke: fig17's containment/storm/soak/recovery gates on shortened
+# runs — every injected FaultKind classifies and quarantines (no faulted
+# shell is ever re-acquired affine, the quarantine ledger balances), a fault
+# storm on one key keeps the co-tenant's p99 within 2x of fault-free, a
+# paced soak leaves zero gauge drift and zero resident bytes after
+# retirement, and the phase-4 recovery run gates the circuit breaker's
+# goodput at >= 1.5x the breaker-off run under the same 33% storm (with
+# retry-exactly-once accounting conserved at every observation).
 (cd "$BUILD_DIR" && ./fig17_chaos --quick)
 # SOAK=1: the full chaos + wall-clock soak run (minutes, not seconds) —
 # same gates, more rounds, real pacing.

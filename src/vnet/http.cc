@@ -123,7 +123,18 @@ std::string BuildResponseWithReason(int status, const std::string& reason,
                                     const std::string& body,
                                     const std::vector<std::pair<std::string, std::string>>& headers) {
   std::ostringstream os;
-  os << "HTTP/1.0 " << status << " " << reason << "\r\n";
+  os << "HTTP/1.1 " << status << " ";
+  // The reason phrase may come from an untrusted detail string (a fault
+  // message); a CR/LF — or any other control byte — embedded there would
+  // terminate the status line early and let the remainder masquerade as
+  // response headers.  Strip control characters rather than reject: the
+  // phrase is informational only.
+  for (const char c : reason) {
+    if (static_cast<unsigned char>(c) >= 0x20 && c != 0x7f) {
+      os << c;
+    }
+  }
+  os << "\r\n";
   os << "Content-Length: " << body.size() << "\r\n";
   for (const auto& [key, value] : headers) {
     os << key << ": " << value << "\r\n";

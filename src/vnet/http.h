@@ -37,8 +37,10 @@ std::string BuildResponse(int status, const std::string& body,
 
 // Same, but with a caller-supplied reason phrase in the status line (the
 // serving front end answers guest faults with the FaultKind name, e.g.
-// "HTTP/1.0 500 guest-trap", so a client or log scraper can tell an
+// "HTTP/1.1 500 guest-trap", so a client or log scraper can tell an
 // isolated guest fault from a host-side failure without a body schema).
+// Control characters (including CR/LF) are stripped from the phrase so an
+// untrusted detail string can never split the status line into headers.
 std::string BuildResponseWithReason(int status, const std::string& reason,
                                     const std::string& body,
                                     const std::vector<std::pair<std::string, std::string>>& headers = {});

@@ -201,35 +201,35 @@ int main() {
   req[n] = 0;
   he = vn_headers_end(req, n);
   if (he < 0) {
-    send("HTTP/1.0 400 Bad Request\r\nContent-Length: 0\r\n\r\n", 47);
+    send("HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n", 47);
     exit(1);
     return 1;
   }
   if (!vn_head_valid(req, he)) {
-    send("HTTP/1.0 400 Bad Request\r\nContent-Length: 0\r\n\r\n", 47);
+    send("HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n", 47);
     exit(1);
     return 1;
   }
   if (vn_is_http11(req, he) && !vn_has_host(req, he)) {
-    send("HTTP/1.0 400 Bad Request\r\nContent-Length: 0\r\n\r\n", 47);
+    send("HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n", 47);
     exit(1);
     return 1;
   }
   if (parse_path(req, path) < 0) {
-    send("HTTP/1.0 400 Bad Request\r\nContent-Length: 0\r\n\r\n", 47);
+    send("HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n", 47);
     exit(1);
     return 1;
   }
   sz = stat_size(path);                                  // (2)
   if (sz < 0) {
-    send("HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\n\r\n", 45);
+    send("HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n", 45);
     exit(2);
     return 2;
   }
   fd = open(path);                                       // (3)
   body = malloc(sz + 16);
   m = read(fd, body, sz);                                // (4)
-  strcpy(hdr, "HTTP/1.0 200 OK\r\nContent-Length: ");
+  strcpy(hdr, "HTTP/1.1 200 OK\r\nContent-Length: ");
   itoa(num, m);
   strcat(hdr, num);
   strcat(hdr, "\r\n\r\n");
@@ -378,6 +378,7 @@ ConcurrentHttpServer::ConcurrentHttpServer(wasp::Runtime* runtime, wasp::HostEnv
         opts.key_quota = options.key_quota;
         opts.key_quota_overrides = options.key_quota_overrides;
         opts.batch_weight = options.batch_weight;
+        opts.recovery = options.recovery;
         return opts;
       }()) {}
 
@@ -444,15 +445,23 @@ std::future<vbase::Result<ServeStats>> ConcurrentHttpServer::Dispatch(
   if (!accepted) {
     // Load shedding: answer on the submitter's thread so the client sees a
     // well-formed response instead of a silently dropped connection.  The
-    // status tells it what to do next: 429 = this route is over its quota
-    // (back off, the server is fine); 503 = the whole server is overloaded.
-    const int status = admission == wasp::Admission::kQuotaExceeded ? 429 : 503;
-    if (status == 429) {
+    // status tells it what to do next: 429 = this route must back off (over
+    // its quota, or its circuit breaker is open — the server is fine);
+    // 503 = the whole server is overloaded.  A breaker shed adds Retry-After
+    // so a well-behaved client knows when to probe again.
+    int status = 503;
+    std::vector<std::pair<std::string, std::string>> headers;
+    if (admission == wasp::Admission::kQuotaExceeded) {
+      status = 429;
       ctr.quota_rejected.fetch_add(1, std::memory_order_relaxed);
+    } else if (admission == wasp::Admission::kCircuitOpen) {
+      status = 429;
+      headers.emplace_back("Retry-After", std::to_string(options_.recovery.retry_after_s));
+      ctr.breaker_rejected.fetch_add(1, std::memory_order_relaxed);
     } else {
       ctr.rejected.fetch_add(1, std::memory_order_relaxed);
     }
-    channel.guest().WriteString(BuildResponse(status, ""));
+    channel.guest().WriteString(BuildResponse(status, "", headers));
     ServeStats shed;
     shed.status = status;
     done->set_value(shed);
@@ -468,6 +477,7 @@ ServerCounters ConcurrentHttpServer::counters(ServeMode mode) const {
   out.accepted = ctr.accepted.load(std::memory_order_relaxed);
   out.rejected = ctr.rejected.load(std::memory_order_relaxed);
   out.quota_rejected = ctr.quota_rejected.load(std::memory_order_relaxed);
+  out.breaker_rejected = ctr.breaker_rejected.load(std::memory_order_relaxed);
   out.completed = ctr.completed.load(std::memory_order_relaxed);
   out.errors = ctr.errors.load(std::memory_order_relaxed);
   out.faulted = ctr.faulted.load(std::memory_order_relaxed);

@@ -114,6 +114,11 @@ struct ConcurrentServerOptions {
   // keeps batch routes from starving interactive ones and vice versa.
   std::map<std::string, wasp::KeyClass> route_classes;
   int batch_weight = 4;  // forwarded to ExecutorOptions::batch_weight
+  // Fault-recovery policy forwarded to ExecutorOptions::recovery.  With the
+  // breaker enabled, a route whose sustained fault rate trips its breaker is
+  // shed with a fast 429 carrying a Retry-After header — no shell is burned
+  // probing a key that is currently killing every invocation.
+  wasp::RecoveryOptions recovery = {};
 };
 
 // Monotone per-mode aggregates over everything a server instance served.
@@ -121,6 +126,7 @@ struct ServerCounters {
   uint64_t accepted = 0;       // connections admitted to the executor queue
   uint64_t rejected = 0;       // connections shed with a 503 at admission
   uint64_t quota_rejected = 0; // connections shed with a 429 (route quota)
+  uint64_t breaker_rejected = 0;  // connections shed with a 429 (open breaker)
   uint64_t completed = 0;      // handler ran to completion (any status)
   uint64_t errors = 0;         // handler returned a non-OK status
   uint64_t faulted = 0;        // guest faulted; answered 500-with-reason
@@ -174,6 +180,7 @@ class ConcurrentHttpServer {
     std::atomic<uint64_t> accepted{0};
     std::atomic<uint64_t> rejected{0};
     std::atomic<uint64_t> quota_rejected{0};
+    std::atomic<uint64_t> breaker_rejected{0};
     std::atomic<uint64_t> completed{0};
     std::atomic<uint64_t> errors{0};
     std::atomic<uint64_t> faulted{0};

@@ -8,6 +8,7 @@
 #include <map>
 #include <queue>
 #include <thread>
+#include <tuple>
 
 #include "src/base/clock.h"
 #include "src/base/rng.h"
@@ -357,7 +358,9 @@ GovernedReplay GovernTrace(const MeasuredTrace& trace, const GovernanceOptions& 
   for (size_t t = 0; t < trace.names.size(); ++t) {
     tenant_quota[t] = options.QuotaFor(trace.names[t]);
   }
-  using Completion = std::pair<double, size_t>;  // (done_us, tenant)
+  // (done_us, tenant, faulted, probe) — faulted/probe ride along so the
+  // recovery discipline can feed the breaker at each virtual completion.
+  using Completion = std::tuple<double, size_t, bool, bool>;
   std::priority_queue<Completion, std::vector<Completion>, std::greater<Completion>>
       completions;
   int batch_credit = 0;
@@ -365,9 +368,52 @@ GovernedReplay GovernTrace(const MeasuredTrace& trace, const GovernanceOptions& 
   std::vector<double> start_us(n, -1.0);  // -1 = shed
   std::vector<double> done_us(n, -1.0);
 
+  // Per-tenant virtual breaker: the executor's exact state machine (EWMA at
+  // completion, count-based cooldown, single half-open probe) evaluated over
+  // virtual completion events instead of worker-thread ones.
+  const wasp::RecoveryOptions& ro = options.recovery;
+  struct VBreaker {
+    double ewma = 0.0;
+    uint64_t samples = 0;
+    wasp::BreakerState state = wasp::BreakerState::kClosed;
+    uint64_t sheds = 0;
+    bool probe_in_flight = false;
+  };
+  std::vector<VBreaker> breakers(trace.names.size());
+  std::vector<char> is_probe(n, 0);
+  auto record_attempt = [&](size_t t, bool faulted, bool probe) {
+    VBreaker& b = breakers[t];
+    b.ewma = ro.breaker_alpha * (faulted ? 1.0 : 0.0) + (1.0 - ro.breaker_alpha) * b.ewma;
+    ++b.samples;
+    if (!ro.breaker_enabled) {
+      return;
+    }
+    if (probe) {
+      b.probe_in_flight = false;
+      if (faulted) {
+        b.state = wasp::BreakerState::kOpen;
+        b.sheds = 0;
+        ++replay.tenants[t].breaker_opens;
+      } else {
+        b.state = wasp::BreakerState::kClosed;
+        b.ewma = 0.0;  // clean slate, as in the executor
+      }
+      return;
+    }
+    if (b.state == wasp::BreakerState::kClosed && b.samples >= ro.breaker_min_samples &&
+        b.ewma >= ro.breaker_open_threshold) {
+      b.state = wasp::BreakerState::kOpen;
+      b.sheds = 0;
+      ++replay.tenants[t].breaker_opens;
+    }
+  };
+
   auto advance_completions = [&](double now) {
-    while (!completions.empty() && completions.top().first <= now) {
-      --tenant_load[completions.top().second];
+    while (!completions.empty() && std::get<0>(completions.top()) <= now) {
+      const auto [done, t, faulted, probe] = completions.top();
+      (void)done;
+      --tenant_load[t];
+      record_attempt(t, faulted, probe);
       completions.pop();
     }
   };
@@ -403,7 +449,9 @@ GovernedReplay GovernTrace(const MeasuredTrace& trace, const GovernanceOptions& 
       start_us[idx] = start;
       done_us[idx] = start + trace.service_us[idx];
       lane_free[lane] = done_us[idx];
-      completions.emplace(done_us[idx], static_cast<size_t>(trace.tenant[idx]));
+      const bool faulted = idx < trace.faulted.size() && trace.faulted[idx];
+      completions.emplace(done_us[idx], static_cast<size_t>(trace.tenant[idx]), faulted,
+                          is_probe[idx] != 0);
     }
   };
 
@@ -414,16 +462,56 @@ GovernedReplay GovernTrace(const MeasuredTrace& trace, const GovernanceOptions& 
     advance_completions(now);
     TenantOutcome& tenant = replay.tenants[t];
     ++tenant.offered;
-    // Quota first (mirrors Executor::Enqueue): the per-key signal beats the
-    // global one so a hot key is told to back off, not that the server is
-    // full.
+    // Breaker first (mirrors Executor::Enqueue): an open breaker is the
+    // cheapest shed, checked before any queue or quota math.
+    if (ro.breaker_enabled) {
+      VBreaker& b = breakers[t];
+      bool admit = true;
+      bool probe = false;
+      if (b.state == wasp::BreakerState::kOpen) {
+        if (b.sheds >= ro.breaker_open_sheds) {
+          b.state = wasp::BreakerState::kHalfOpen;
+          b.probe_in_flight = true;
+          probe = true;
+        } else {
+          ++b.sheds;
+          admit = false;
+        }
+      } else if (b.state == wasp::BreakerState::kHalfOpen) {
+        if (b.probe_in_flight) {
+          admit = false;
+        } else {
+          b.probe_in_flight = true;
+          probe = true;
+        }
+      }
+      if (!admit) {
+        ++tenant.shed_breaker;
+        continue;
+      }
+      if (probe) {
+        is_probe[i] = 1;
+      }
+    }
+    // A probe shed by a later admission stage hands back its reservation, or
+    // the breaker would wait forever on a probe that never ran.
+    auto release_probe = [&] {
+      if (is_probe[i] != 0) {
+        breakers[t].probe_in_flight = false;
+        is_probe[i] = 0;
+      }
+    };
+    // Quota next: the per-key signal beats the global one so a hot key is
+    // told to back off, not that the server is full.
     if (tenant_quota[t] > 0 && tenant_load[t] >= tenant_quota[t]) {
       ++tenant.shed_quota;
+      release_probe();
       continue;
     }
     if (options.max_queue_depth > 0 &&
         queues[0].size() + queues[1].size() >= options.max_queue_depth) {
       ++tenant.shed_overload;
+      release_probe();
       continue;
     }
     queues[static_cast<size_t>(trace.classes[t])].push_back(i);
@@ -476,7 +564,8 @@ GovernedReplay GovernTrace(const MeasuredTrace& trace, const GovernanceOptions& 
       tenant.p99_queue_wait_us = vbase::Quantile(waits[t], 0.99);
     }
     if (tenant.offered > 0) {
-      tenant.shed_rate = static_cast<double>(tenant.shed_quota + tenant.shed_overload) /
+      tenant.shed_rate = static_cast<double>(tenant.shed_quota + tenant.shed_overload +
+                                             tenant.shed_breaker) /
                          static_cast<double>(tenant.offered);
       tenant.fault_rate =
           static_cast<double>(tenant.faulted) / static_cast<double>(tenant.offered);

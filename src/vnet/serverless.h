@@ -121,6 +121,14 @@ struct GovernanceOptions {
     auto it = key_quota_overrides.find(tenant);
     return it != key_quota_overrides.end() ? it->second : key_quota;
   }
+
+  // The recovery discipline: a per-tenant circuit breaker evaluated in
+  // virtual time with the executor's exact state machine (EWMA over attempt
+  // outcomes at completion events, count-based open -> half-open cooldown,
+  // single probe).  Retry is deliberately *not* modeled here — it changes
+  // the measured services, so it belongs to the measuring run; the replay
+  // isolates what shedding alone does to the co-tenants.
+  wasp::RecoveryOptions recovery = {};
 };
 
 // Per-tenant outcome of a governed replay.
@@ -132,7 +140,9 @@ struct TenantOutcome {
   double fault_rate = 0;       // faulted / offered
   uint64_t shed_quota = 0;     // rejected by the per-key quota
   uint64_t shed_overload = 0;  // rejected by the global queue bound
-  double shed_rate = 0;        // (shed_quota + shed_overload) / offered
+  uint64_t shed_breaker = 0;   // rejected by the tenant's open circuit breaker
+  uint64_t breaker_opens = 0;  // times the tenant's breaker tripped open
+  double shed_rate = 0;        // (shed_quota + shed_overload + shed_breaker) / offered
   double mean_queue_wait_us = 0;
   double p99_queue_wait_us = 0;  // the governance claim's currency
   double mean_latency_us = 0;    // queue wait + service

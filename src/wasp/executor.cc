@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <utility>
 
 #include "src/base/clock.h"
@@ -43,8 +44,69 @@ Executor::~Executor() {
   }
 }
 
-Executor::Task Executor::MakeInvokeTask(VirtineSpec spec) {
-  return [runtime = runtime_, spec = std::move(spec)] { return runtime->Invoke(spec); };
+bool Executor::BreakerAdmitLocked(const std::string& key, bool* probe) {
+  auto it = recovery_.find(key);
+  if (it == recovery_.end()) {
+    return true;  // no evidence yet: closed by definition
+  }
+  KeyRecovery& r = it->second;
+  switch (r.state) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      // Count-based cooldown: after breaker_open_sheds requests have been
+      // shed, the next one is admitted as the half-open probe.  Counting
+      // requests instead of wall time keeps replays deterministic and makes
+      // the cooldown proportional to the key's own arrival rate.
+      if (r.sheds >= options_.recovery.breaker_open_sheds) {
+        r.state = BreakerState::kHalfOpen;
+        r.probe_in_flight = true;
+        *probe = true;
+        return true;
+      }
+      ++r.sheds;
+      return false;
+    case BreakerState::kHalfOpen:
+      if (!r.probe_in_flight) {
+        r.probe_in_flight = true;
+        *probe = true;
+        return true;
+      }
+      return false;  // one probe at a time; everything else sheds
+  }
+  return true;
+}
+
+void Executor::RecordAttemptLocked(const std::string& key, bool faulted, bool probe) {
+  const RecoveryOptions& ro = options_.recovery;
+  KeyRecovery& r = recovery_[key];
+  r.ewma = ro.breaker_alpha * (faulted ? 1.0 : 0.0) + (1.0 - ro.breaker_alpha) * r.ewma;
+  ++r.samples;
+  if (!ro.breaker_enabled) {
+    return;  // EWMA tracking is unconditional; the state machine is opt-in
+  }
+  if (probe) {
+    r.probe_in_flight = false;
+    if (faulted) {
+      r.state = BreakerState::kOpen;
+      r.sheds = 0;
+      ++r.opens;
+      ++stats_.breaker_opens;
+    } else {
+      // Clean probe: close and forget.  The EWMA resets so re-tripping needs
+      // fresh consecutive evidence, not the tail of the old storm.
+      r.state = BreakerState::kClosed;
+      r.ewma = 0.0;
+    }
+    return;
+  }
+  if (r.state == BreakerState::kClosed && r.samples >= ro.breaker_min_samples &&
+      r.ewma >= ro.breaker_open_threshold) {
+    r.state = BreakerState::kOpen;
+    r.sheds = 0;
+    ++r.opens;
+    ++stats_.breaker_opens;
+  }
 }
 
 Admission Executor::Enqueue(Job job, bool may_reject, std::future<RunOutcome>* future) {
@@ -52,6 +114,30 @@ Admission Executor::Enqueue(Job job, bool may_reject, std::future<RunOutcome>* f
   Admission admission = Admission::kAccepted;
   {
     std::unique_lock<std::mutex> lock(mu_);
+    // Circuit breaker: checked before everything else — an open breaker is
+    // the cheapest possible shed (no queue slot, no quota math, no park).
+    // Blocking Submit/SubmitTask bypasses it, like the quota (trusted
+    // closed-loop path).
+    if (may_reject && !stop_ && options_.recovery.breaker_enabled && !job.key.empty()) {
+      bool probe = false;
+      if (!BreakerAdmitLocked(job.key, &probe)) {
+        ++stats_.breaker_rejected;
+        return Admission::kCircuitOpen;  // job (and its promise) dropped
+      }
+      job.probe = probe;
+    }
+    // If this job was just marked as its key's half-open probe but a later
+    // admission stage rejects it, the probe reservation must be handed back —
+    // otherwise the breaker waits forever on a probe that never ran.
+    auto release_probe = [&] {
+      if (job.probe) {
+        auto it = recovery_.find(job.key);
+        if (it != recovery_.end()) {
+          it->second.probe_in_flight = false;
+        }
+        job.probe = false;
+      }
+    };
     // Per-key quota: rejected before (and independent of) the global bound,
     // and always immediately — a hot key must shed, not park submitters.
     // The effective cap is tier-resolved (key_quota_overrides, falling back
@@ -61,6 +147,7 @@ Admission Executor::Enqueue(Job job, bool may_reject, std::future<RunOutcome>* f
       auto it = key_load_.find(job.key);
       if (it != key_load_.end() && it->second >= quota) {
         ++stats_.quota_rejected;
+        release_probe();
         return Admission::kQuotaExceeded;  // job (and its promise) dropped
       }
     }
@@ -68,6 +155,7 @@ Admission Executor::Enqueue(Job job, bool may_reject, std::future<RunOutcome>* f
       if (may_reject && !options_.block_when_full &&
           TotalQueuedLocked() >= options_.max_queue_depth) {
         ++stats_.rejected;
+        release_probe();
         return Admission::kQueueFull;  // caller sheds load
       }
       cv_space_.wait(lock, [this] {
@@ -82,6 +170,7 @@ Admission Executor::Enqueue(Job job, bool may_reject, std::future<RunOutcome>* f
         auto it = key_load_.find(job.key);
         if (it != key_load_.end() && it->second >= quota) {
           ++stats_.quota_rejected;
+          release_probe();
           // This reject consumed a dequeue's notify_one without taking the
           // freed slot; pass the wakeup on or another parked submitter
           // could sleep forever beside an open slot.
@@ -94,6 +183,7 @@ Admission Executor::Enqueue(Job job, bool may_reject, std::future<RunOutcome>* f
       // Teardown raced the submission (blocking admission makes long parks
       // inside Enqueue routine): fail it recoverably instead of aborting.
       ++stats_.rejected;
+      release_probe();
       admission = Admission::kStopped;
     } else {
       job.seq = next_seq_++;
@@ -126,7 +216,8 @@ std::future<RunOutcome> Executor::Submit(VirtineSpec spec, KeyClass klass) {
   Job job;
   job.key = spec.use_snapshot ? spec.key : std::string();
   job.klass = klass;
-  job.work = MakeInvokeTask(std::move(spec));
+  job.spec = std::move(spec);
+  job.retryable = true;
   std::future<RunOutcome> future;
   Enqueue(std::move(job), /*may_reject=*/false, &future);
   return future;
@@ -137,7 +228,8 @@ bool Executor::TrySubmit(VirtineSpec spec, std::future<RunOutcome>* future, KeyC
   Job job;
   job.key = spec.use_snapshot ? spec.key : std::string();
   job.klass = klass;
-  job.work = MakeInvokeTask(std::move(spec));
+  job.spec = std::move(spec);
+  job.retryable = true;
   const Admission result = Enqueue(std::move(job), /*may_reject=*/true, future);
   if (admission != nullptr) {
     *admission = result;
@@ -180,6 +272,12 @@ ExecutorStats Executor::stats() const {
   ExecutorStats out = stats_;
   out.queued = TotalQueuedLocked();
   out.in_flight = in_flight_;
+  // Debug-build audit of the conservation law at *every* snapshot, not just
+  // test quiesce points.  The retry path keeps a retried job in `in_flight`
+  // across both attempts, so no observation may catch a job outside all four
+  // buckets.  (assert, not VB_CHECK: VB_CHECK aborts in release builds too,
+  // and a stats snapshot must stay cheap there.)
+  assert(out.submitted == out.completed + out.faulted + out.queued + out.in_flight);
   return out;
 }
 
@@ -187,6 +285,23 @@ size_t Executor::KeyLoad(const std::string& key) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = key_load_.find(key);
   return it == key_load_.end() ? 0 : it->second;
+}
+
+KeyRecoverySnapshot Executor::KeyRecoveryState(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  KeyRecoverySnapshot snap;
+  auto it = recovery_.find(key);
+  if (it != recovery_.end()) {
+    snap.fault_rate = it->second.ewma;
+    snap.samples = it->second.samples;
+    snap.state = it->second.state;
+    snap.opens = it->second.opens;
+  }
+  return snap;
+}
+
+double Executor::KeyFaultRate(const std::string& key) const {
+  return KeyRecoveryState(key).fault_rate;
 }
 
 size_t Executor::PickClass() {
@@ -259,18 +374,28 @@ void Executor::WorkerLoop(uint32_t worker_index) {
     }
     cv_space_.notify_one();
     last_key = job.key;
-    RunOutcome outcome = job.work();
-    // Classify before resolving the future (the outcome moves away): a
-    // faulted invocation counts separately, and its key-quota slot is
-    // released just the same — faults must never wedge a key's quota.
+    RunOutcome outcome = RunJob(job);
+    // Settle ALL accounting — completed/faulted, the recovery ledger, and
+    // the key-quota slot — before resolving the future.  A caller that sees
+    // the future ready may immediately resubmit on the same key; its slot
+    // must already be free (a fault must never wedge a key's quota, not
+    // even for the resolve-to-release window).
     const bool faulted = outcome.fault != FaultKind::kNone;
-    job.promise.set_value(std::move(outcome));
+    const bool retried = outcome.retried;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (faulted) {
         ++stats_.faulted;
       } else {
         ++stats_.completed;
+        if (retried) {
+          ++stats_.retry_successes;
+        }
+      }
+      // The final attempt's outcome resolves the key's probe (if this job
+      // was one) and feeds the fault-rate EWMA.
+      if (!job.key.empty()) {
+        RecordAttemptLocked(job.key, faulted, job.probe);
       }
       --in_flight_;
       if (!job.key.empty()) {
@@ -280,7 +405,40 @@ void Executor::WorkerLoop(uint32_t worker_index) {
         }
       }
     }
+    job.promise.set_value(std::move(outcome));
   }
+}
+
+RunOutcome Executor::RunJob(Job& job) {
+  RunOutcome outcome = job.retryable ? runtime_->Invoke(job.spec) : job.work();
+  if (outcome.fault == FaultKind::kNone || !job.retryable ||
+      !IsRecoverableFault(outcome.fault) || !options_.recovery.IsIdempotent(job.key)) {
+    return outcome;
+  }
+  // Retry-once: the fault kinds above guarantee the guest never observably
+  // ran, and the key is declared side-effect free, so a second attempt is
+  // safe.  The job stays in_flight and keeps its key-quota slot across both
+  // attempts — `submitted` counted it once and exactly one of
+  // completed/faulted will count its end, so the conservation law holds at
+  // every observation in between.  The first attempt still feeds the EWMA:
+  // a retry-masked storm must trip the breaker just like a visible one.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.retries;
+    if (!job.key.empty()) {
+      RecordAttemptLocked(job.key, /*faulted=*/true, /*probe=*/false);
+    }
+  }
+  const FaultKind first = outcome.fault;
+  VirtineSpec retry_spec = job.spec;
+  // A fresh, non-affine shell: the first attempt's shell is already
+  // quarantined, and an affine sibling could share whatever poisoned state
+  // killed it (a bad snapshot delta, a dying lane).
+  retry_spec.fresh_shell = true;
+  outcome = runtime_->Invoke(retry_spec);
+  outcome.retried = true;
+  outcome.first_fault = first;
+  return outcome;
 }
 
 std::vector<RunOutcome> Executor::Run(Runtime* runtime, const std::vector<VirtineSpec>& specs,

@@ -45,6 +45,15 @@
 //     the classes entirely (strict cross-class FIFO by submission order):
 //     the ungoverned baseline the governance benchmarks compare against.
 //
+// Fault recovery rides the same key ledger.  Every completed attempt feeds a
+// per-key fault-rate EWMA; a recoverable fault (kWorkerDeath /
+// kPoisonedSnapshot — the guest never observably ran) on a key declared
+// idempotent is retried exactly once on a fresh, non-affine shell while the
+// job stays in flight (counted once in `submitted`, key-quota slot held
+// across the retry); and a sustained fault rate trips a per-key circuit
+// breaker that sheds admission-checked submissions (Admission::kCircuitOpen —
+// a fast 429 upstream) until a half-open probe proves the key healthy again.
+//
 // Invocations are independent by construction (each owns its shell, its
 // hypercall frame, and its fd table), so the only shared state a worker
 // touches is the sharded Pool and the read-mostly SnapshotStore — both
@@ -89,6 +98,7 @@ enum class Admission {
   kAccepted,       // enqueued; the future resolves with the job's outcome
   kQueueFull,      // global max_queue_depth reached under the reject policy
   kQuotaExceeded,  // the job's key is at its per-key quota
+  kCircuitOpen,    // the job's key's circuit breaker is open (fast shed)
   kStopped,        // the submission raced executor shutdown
 };
 
@@ -126,6 +136,9 @@ struct ExecutorOptions {
   // above 0 are clamped to at least 2 (a weight of 1 would pick batch on
   // every contended dequeue — priority inversion, not weighting).
   int batch_weight = 4;
+  // Fault-recovery policy: retry-once eligibility (idempotent_keys) and the
+  // per-key circuit breaker.  See RecoveryOptions in fault.h.
+  RecoveryOptions recovery = {};
 };
 
 // Monotone admission/progress counters (BatchStats' sibling for the
@@ -138,13 +151,27 @@ struct ExecutorStats {
   uint64_t submitted = 0;         // jobs accepted into the queue
   uint64_t rejected = 0;          // jobs refused: global queue full or shutdown
   uint64_t quota_rejected = 0;    // jobs refused: per-key quota (never enqueued)
+  uint64_t breaker_rejected = 0;  // jobs refused: key's circuit breaker open
   uint64_t completed = 0;         // jobs run to a fault-free completion
   uint64_t faulted = 0;           // jobs whose invocation died with a FaultKind
+  uint64_t retries = 0;           // retry attempts launched (recoverable faults)
+  uint64_t retry_successes = 0;   // retried jobs that completed fault-free
+  uint64_t breaker_opens = 0;     // breaker transitions into the open state
   uint64_t peak_queue_depth = 0;  // high-water mark of the queue (both classes)
   uint64_t dequeued_latency = 0;  // jobs dequeued from the latency class
   uint64_t dequeued_batch = 0;    // jobs dequeued from the batch class
   uint64_t queued = 0;            // gauge: jobs waiting right now
   uint64_t in_flight = 0;         // gauge: jobs running right now
+};
+
+// Point-in-time recovery view of one key: its fault-rate EWMA (over
+// attempts, including retry attempts) and its breaker position.  A key the
+// executor has never completed an attempt for reads as all-zero / closed.
+struct KeyRecoverySnapshot {
+  double fault_rate = 0.0;                     // EWMA over attempts
+  uint64_t samples = 0;                        // attempts observed
+  BreakerState state = BreakerState::kClosed;  // breaker position
+  uint64_t opens = 0;                          // times this key's breaker opened
 };
 
 class Executor {
@@ -207,6 +234,12 @@ class Executor {
   ExecutorStats stats() const;
   // Jobs in the system (queued + in flight) under `key` right now.
   size_t KeyLoad(const std::string& key) const;
+  // Recovery view of `key`: fault-rate EWMA and breaker position.  Unlike
+  // key_load_, recovery state persists after the key's jobs drain — a storm's
+  // evidence must outlive the storm.
+  KeyRecoverySnapshot KeyRecoveryState(const std::string& key) const;
+  // Convenience: KeyRecoveryState(key).fault_rate.
+  double KeyFaultRate(const std::string& key) const;
   const ExecutorOptions& options() const { return options_; }
 
   // Runs `specs` to completion over `concurrency` transient worker threads;
@@ -220,15 +253,42 @@ class Executor {
     std::string key;  // snapshot-affinity hint + quota accounting unit
     KeyClass klass = KeyClass::kLatency;
     uint64_t seq = 0;  // submission order (cross-class FIFO when ungoverned)
-    Task work;
+    Task work;         // the serving task (empty for invocation jobs)
+    // Invocation jobs (Submit/TrySubmit) carry their spec so a recoverable
+    // fault can be retried once on a fresh shell.  Generic tasks never carry
+    // one — their side effects are opaque, so they are never retried.
+    VirtineSpec spec;
+    bool retryable = false;  // spec is valid; eligible for retry-once
+    bool probe = false;      // this job is its key's half-open breaker probe
     std::promise<RunOutcome> promise;
   };
 
+  // Per-key recovery ledger entry (mu_ held).  Entries persist at zero load —
+  // the fault-rate EWMA and breaker position are evidence, not a gauge.
+  struct KeyRecovery {
+    double ewma = 0.0;       // fault-rate EWMA over attempts
+    uint64_t samples = 0;    // attempts observed
+    BreakerState state = BreakerState::kClosed;
+    uint64_t opens = 0;      // transitions into kOpen
+    uint64_t sheds = 0;      // requests shed since the breaker last opened
+    bool probe_in_flight = false;  // a half-open probe is queued or running
+  };
+
   // Shared enqueue path.  `may_reject` selects TrySubmit semantics (honor
-  // the quota and the configured full-queue policy) over Submit semantics
-  // (always block for space, no quota).
+  // the breaker, the quota, and the configured full-queue policy) over
+  // Submit semantics (always block for space, no breaker, no quota).
   Admission Enqueue(Job job, bool may_reject, std::future<RunOutcome>* future);
-  Task MakeInvokeTask(VirtineSpec spec);
+  // Runs a job's work — the stored task, or an invocation of its spec — and
+  // applies the retry-once policy for recoverable faults on idempotent keys.
+  RunOutcome RunJob(Job& job);
+  // Breaker admission for `key` (mu_ held).  Returns false to shed; on an
+  // admit, sets *probe when this request is the key's half-open probe.
+  bool BreakerAdmitLocked(const std::string& key, bool* probe);
+  // Feeds one attempt outcome into `key`'s fault-rate EWMA and drives the
+  // breaker state machine (mu_ held).  `probe` marks the resolution of a
+  // half-open probe: clean closes the breaker (EWMA reset — re-tripping
+  // requires fresh evidence), faulted re-opens it.
+  void RecordAttemptLocked(const std::string& key, bool faulted, bool probe);
   // Picks the class queue the next dequeue should serve (mu_ held; at least
   // one queue non-empty).
   size_t PickClass();
@@ -248,6 +308,8 @@ class Executor {
   // Per-key jobs in the system (queued + in flight); entries erased at zero
   // so the map tracks only live keys.
   std::map<std::string, size_t> key_load_;
+  // Per-key fault-rate EWMA + breaker state; entries persist (see KeyRecovery).
+  std::map<std::string, KeyRecovery> recovery_;
   ExecutorStats stats_;
   bool stop_ = false;
   std::vector<std::thread> workers_;

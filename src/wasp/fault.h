@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -66,6 +67,64 @@ struct FaultPlan {
   // Convenience builders.
   static FaultRule At(FaultKind kind, uint64_t invocation, std::string key = "");
   static FaultRule Probability(FaultKind kind, double p, std::string key = "");
+};
+
+// True for the fault kinds where the guest never observably ran: the shell
+// died before the invocation had any externally visible effect (worker death
+// pre-dispatch, a snapshot that failed its checksum before restore).  Only
+// these are safe to retry even for idempotent keys — a kGuestTrap may have
+// fired halfway through the guest's own side effects.
+inline bool IsRecoverableFault(FaultKind kind) {
+  return kind == FaultKind::kWorkerDeath || kind == FaultKind::kPoisonedSnapshot;
+}
+
+// Per-key circuit breaker position.  kClosed admits everything; kOpen sheds
+// everything (fast-429 upstream); kHalfOpen admits a single probe and sheds
+// the rest until the probe resolves.
+enum class BreakerState : uint8_t {
+  kClosed = 0,
+  kOpen,
+  kHalfOpen,
+};
+
+// Stable short name ("closed", "open", "half-open") for logs and benches.
+const char* BreakerStateName(BreakerState state);
+
+// Recovery policy shared by the executor, the HTTP front end, and the
+// GovernTrace recovery discipline.  All breaker transitions are driven by
+// counts (attempts observed, requests shed), never wall-clock time, so a
+// fixed submission order reproduces the same open/half-open/close sequence.
+struct RecoveryOptions {
+  // Keys whose handlers are declared side-effect free.  Only these are
+  // eligible for the automatic retry-once on a recoverable fault.
+  std::set<std::string> idempotent_keys;
+
+  // Per-key fault-rate EWMA: rate' = alpha * faulted + (1 - alpha) * rate,
+  // fed once per *attempt* (a retried invocation contributes both attempts,
+  // so a retry-masked storm still trips the breaker).
+  double breaker_alpha = 0.2;
+
+  // Master switch for the breaker.  Retry-once is governed solely by
+  // `idempotent_keys`; the two mechanisms compose but do not require each
+  // other.
+  bool breaker_enabled = false;
+
+  // Closed -> open when the EWMA reaches the threshold after at least
+  // `breaker_min_samples` attempts have been observed for the key.
+  double breaker_open_threshold = 0.5;
+  uint64_t breaker_min_samples = 8;
+
+  // Open -> half-open after this many requests for the key have been shed.
+  // A count, not a clock: under load it behaves like a cooldown proportional
+  // to the key's arrival rate, and under a deterministic replay it is exact.
+  uint64_t breaker_open_sheds = 16;
+
+  // Seconds advertised in the Retry-After header on a breaker-shed 429.
+  int retry_after_s = 1;
+
+  bool IsIdempotent(const std::string& key) const {
+    return idempotent_keys.count(key) != 0;
+  }
 };
 
 struct FaultInjectorStats {

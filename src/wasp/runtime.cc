@@ -44,7 +44,10 @@ std::future<RunOutcome> Runtime::InvokeAsync(VirtineSpec spec) {
     if (workers <= 0) {
       workers = static_cast<int>(std::max(2u, std::thread::hardware_concurrency()));
     }
-    executor_ = std::make_unique<Executor>(this, workers);
+    ExecutorOptions opts;
+    opts.workers = workers;
+    opts.recovery = options_.recovery;
+    executor_ = std::make_unique<Executor>(this, opts);
   });
   return executor_->Submit(std::move(spec));
 }
@@ -366,10 +369,13 @@ RunOutcome Runtime::Invoke(const VirtineSpec& spec) {
   bool from_pool = false;
   bool affine = false;
   std::unique_ptr<vkvm::Vm> vm;
-  if (snap != nullptr && options_.snapshot_affinity) {
+  if (snap != nullptr && options_.snapshot_affinity && !spec.fresh_shell) {
     vm = pool_.AcquireAffine(MakeVmConfig(spec.mem_size), snap->generation, &affine,
                              &from_pool);
   } else {
+    // fresh_shell (the executor's retry path) lands here deliberately: a
+    // retried invocation must never inherit a parked affine sibling of the
+    // shell that just faulted — it COW-maps the snapshot onto a clean shell.
     vm = pool_.Acquire(MakeVmConfig(spec.mem_size), &from_pool);
   }
   outcome.stats.from_pool = from_pool;

@@ -82,6 +82,10 @@ struct RunOutcome {
   std::string console;           // bytes written via the console hypercall
   std::vector<uint8_t> output;   // bytes returned via return_data
   std::vector<uint8_t> fd_writes;  // bytes written via the write hypercall
+  // Set by the executor's recovery layer: this outcome is the second attempt
+  // of a retried job, and `first_fault` is what killed the first attempt.
+  bool retried = false;
+  FaultKind first_fault = FaultKind::kNone;
   InvokeStats stats;
 };
 
@@ -157,6 +161,12 @@ struct VirtineSpec {
   std::map<uint16_t, HypercallHandler> handlers;
   // Watchdog: maximum guest instructions per invocation.
   uint64_t max_insns = 2'000'000'000;
+  // Force a fresh, non-affine shell for this invocation: never reuse a
+  // parked snapshot-affine sibling.  Set by the executor's retry path — the
+  // faulted attempt's shell is quarantined, and an affine sibling could
+  // share whatever state killed it — and usable by callers that want a
+  // known-cold invocation.
+  bool fresh_shell = false;
 };
 
 struct RuntimeOptions {
@@ -190,6 +200,11 @@ struct RuntimeOptions {
   // invocation indices or with seeded probabilities.  Empty = no injection
   // (zero cost on the invoke path).
   FaultPlan fault_plan;
+  // Fault-recovery policy for the InvokeAsync executor: retry-once
+  // eligibility (idempotent keys) and the per-key circuit breaker.  Callers
+  // that build their own Executor pass a RecoveryOptions directly through
+  // ExecutorOptions instead.
+  RecoveryOptions recovery;
   // Verify the snapshot checksum on every restore; a mismatch classifies as
   // kPoisonedSnapshot and quarantines the shell.  Off by default: snapshots
   // are immutable in-process, so this guards against bugs, not physics.

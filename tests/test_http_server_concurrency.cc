@@ -187,7 +187,7 @@ TEST(ConcurrentServer, RejectModeShedsOverflowWith503) {
   ASSERT_TRUE(shed_stats.ok());
   EXPECT_EQ(shed_stats->status, 503);
   const std::string shed_response = DrainToString(shed);
-  EXPECT_NE(shed_response.find("HTTP/1.0 503"), std::string::npos);
+  EXPECT_NE(shed_response.find("HTTP/1.1 503"), std::string::npos);
 
   // Unblock the plug; the accepted connections complete normally.
   plug.host().WriteString(kRequest);
@@ -246,7 +246,7 @@ TEST(ConcurrentServer, RouteQuotaShedsWith429WhileOverloadSheds503) {
   auto quota_stats = quota_future.get();
   ASSERT_TRUE(quota_stats.ok());
   EXPECT_EQ(quota_stats->status, 429);
-  EXPECT_NE(DrainToString(quota_shed).find("HTTP/1.0 429"), std::string::npos);
+  EXPECT_NE(DrainToString(quota_shed).find("HTTP/1.1 429"), std::string::npos);
 
   // Other routes are untouched by /hot's quota: fill the global queue...
   for (int i = 0; i < 6; ++i) {
@@ -265,7 +265,7 @@ TEST(ConcurrentServer, RouteQuotaShedsWith429WhileOverloadSheds503) {
   auto overload_stats = overload_future.get();
   ASSERT_TRUE(overload_stats.ok());
   EXPECT_EQ(overload_stats->status, 503);
-  EXPECT_NE(DrainToString(overload_shed).find("HTTP/1.0 503"), std::string::npos);
+  EXPECT_NE(DrainToString(overload_shed).find("HTTP/1.1 503"), std::string::npos);
 
   // Unblock the lane; every accepted connection completes with a 200.
   plug.host().WriteString(kRequest);
@@ -312,7 +312,7 @@ TEST(ConcurrentServer, GuestFaultAnswers500WithReasonAndCountsFaulted) {
   EXPECT_EQ(stats->status, 500);
   EXPECT_EQ(stats->fault, wasp::FaultKind::kGuestTrap);
   const std::string response = DrainToString(channel);
-  EXPECT_NE(response.find("HTTP/1.0 500 guest-trap"), std::string::npos) << response;
+  EXPECT_NE(response.find("HTTP/1.1 500 guest-trap"), std::string::npos) << response;
 
   const vnet::ServerCounters ctr = server.counters(vnet::ServeMode::kVirtine);
   EXPECT_EQ(ctr.accepted, 1u);
@@ -339,6 +339,81 @@ TEST(ConcurrentServer, GuestFaultAnswers500WithReasonAndCountsFaulted) {
   auto native_stats = server.SubmitConnection(native, vnet::ServeMode::kNative).get();
   ASSERT_TRUE(native_stats.ok());
   EXPECT_EQ(native_stats->status, 200);
+}
+
+TEST(ConcurrentServer, BreakerShedsFast429WithRetryAfter) {
+  // A route whose every invocation faults must trip its circuit breaker and
+  // then shed with a fast 429 + Retry-After — no shell burned on a key that
+  // is currently killing every invocation.
+  wasp::RuntimeOptions roptions;
+  roptions.fault_plan.rules.push_back(
+      wasp::FaultPlan::Probability(wasp::FaultKind::kGuestTrap, 1.0));
+  wasp::Runtime runtime(roptions);
+  wasp::HostEnv files;
+  files.PutFile("/file.txt", std::string(kBodySize, 'q'));
+  vnet::ConcurrentServerOptions options;
+  options.lanes = 1;
+  options.recovery.breaker_enabled = true;
+  options.recovery.breaker_min_samples = 4;  // EWMA(0.2): 1 - 0.8^4 = 0.59 >= 0.5
+  options.recovery.breaker_open_sheds = 2;
+  options.recovery.retry_after_s = 7;
+  vnet::ConcurrentHttpServer server(&runtime, &files, options);
+
+  // Four sequential faulting connections trip the breaker at the 4th
+  // recorded attempt.  The worker records the attempt after the connection
+  // future resolves, so poll the executor between submissions.
+  for (int i = 0; i < 4; ++i) {
+    wasp::ByteChannel channel;
+    channel.host().WriteString(kRequest);
+    auto stats = server.SubmitConnection(channel, vnet::ServeMode::kVirtine, "vol").get();
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->status, 500);
+    for (int spin = 0;
+         spin < 5000 && server.executor_stats().faulted < static_cast<uint64_t>(i) + 1;
+         ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_EQ(server.executor_stats().breaker_opens, 1u);
+
+  // Open: the next breaker_open_sheds connections shed fast-429 with the
+  // advertised Retry-After, burning no shells.
+  for (int i = 0; i < 2; ++i) {
+    wasp::ByteChannel shed;
+    shed.host().WriteString(kRequest);
+    auto stats = server.SubmitConnection(shed, vnet::ServeMode::kVirtine, "vol").get();
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->status, 429);
+    const std::string response = DrainToString(shed);
+    EXPECT_NE(response.find("HTTP/1.1 429"), std::string::npos) << response;
+    EXPECT_NE(response.find("Retry-After: 7"), std::string::npos) << response;
+  }
+  EXPECT_EQ(server.counters(vnet::ServeMode::kVirtine).breaker_rejected, 2u);
+  EXPECT_EQ(runtime.pool().stats().quarantined, 4u);  // sheds touched no shell
+
+  // The cooldown count elapsed: the next connection is the half-open probe.
+  // It faults, so the breaker re-opens and the follow-up sheds again.
+  wasp::ByteChannel probe;
+  probe.host().WriteString(kRequest);
+  auto probe_stats = server.SubmitConnection(probe, vnet::ServeMode::kVirtine, "vol").get();
+  ASSERT_TRUE(probe_stats.ok());
+  EXPECT_EQ(probe_stats->status, 500);
+  for (int spin = 0; spin < 5000 && server.executor_stats().faulted < 5; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  wasp::ByteChannel again;
+  again.host().WriteString(kRequest);
+  auto again_stats = server.SubmitConnection(again, vnet::ServeMode::kVirtine, "vol").get();
+  ASSERT_TRUE(again_stats.ok());
+  EXPECT_EQ(again_stats->status, 429);
+  EXPECT_EQ(server.executor_stats().breaker_opens, 2u);
+
+  // A different route is untouched by the storm route's breaker.
+  wasp::ByteChannel other;
+  other.host().WriteString(kRequest);
+  auto other_stats = server.SubmitConnection(other, vnet::ServeMode::kNative, "ok").get();
+  ASSERT_TRUE(other_stats.ok());
+  EXPECT_EQ(other_stats->status, 200);
 }
 
 TEST(ConcurrentServer, DestructionDrainsAcceptedConnections) {

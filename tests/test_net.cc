@@ -75,11 +75,25 @@ TEST(Http, FuzzedInputNeverCrashesParser) {
 
 TEST(Http, BuildResponseRoundTrips) {
   const std::string resp = vnet::BuildResponse(200, "body", {{"X-A", "1"}});
-  EXPECT_NE(resp.find("HTTP/1.0 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
   EXPECT_NE(resp.find("Content-Length: 4\r\n"), std::string::npos);
   EXPECT_NE(resp.find("X-A: 1\r\n"), std::string::npos);
   EXPECT_EQ(resp.substr(resp.size() - 4), "body");
   EXPECT_EQ(std::string(vnet::ReasonPhrase(404)), "Not Found");
+}
+
+// Regression: a reason phrase from an untrusted detail string (a fault
+// message) must not be able to split the status line.  An embedded CR/LF
+// would otherwise terminate the line and smuggle the remainder in as a
+// response header.
+TEST(Http, BuildResponseSanitizesReasonPhrase) {
+  const std::string resp = vnet::BuildResponseWithReason(
+      500, "bad\r\nX-Injected: 1\r\n", "", {});
+  EXPECT_EQ(resp.rfind("HTTP/1.1 500 badX-Injected: 1\r\n", 0), 0u) << resp;
+  EXPECT_EQ(resp.find("\r\nX-Injected"), std::string::npos) << resp;
+  // Other control bytes are stripped too; printable text survives.
+  const std::string ctl = vnet::BuildResponseWithReason(500, "a\x01\x7f\tb", "", {});
+  EXPECT_EQ(ctl.rfind("HTTP/1.1 500 ab\r\n", 0), 0u) << ctl;
 }
 
 // --- Static server in all modes -----------------------------------------------
@@ -141,7 +155,7 @@ TEST_P(ServerModeTest, TruncatedRequestLineGets400) {
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
   EXPECT_EQ(stats->status, 400);
   const auto resp = channel.host().Drain();
-  EXPECT_EQ(std::string(resp.begin(), resp.end()).rfind("HTTP/1.0 400", 0), 0u);
+  EXPECT_EQ(std::string(resp.begin(), resp.end()).rfind("HTTP/1.1 400", 0), 0u);
 }
 
 TEST_P(ServerModeTest, OversizedHeaderGets400) {
@@ -258,7 +272,7 @@ TEST_P(ServerModeTest, PipelinedGarbageAfterRequestIsServedCleanly) {
   EXPECT_EQ(stats->status, 200);
   const auto resp = channel.host().Drain();
   const std::string text(resp.begin(), resp.end());
-  EXPECT_EQ(text.rfind("HTTP/1.0 200", 0), 0u);
+  EXPECT_EQ(text.rfind("HTTP/1.1 200", 0), 0u);
   EXPECT_NE(text.find(std::string(100, 'z')), std::string::npos);
 }
 
