@@ -60,11 +60,43 @@ namespace {
 constexpr int kLanes = 2;          // virtual serving lanes of the governed replay
 constexpr int kMeasureLanes = 8;   // executor lanes of the measuring run
 constexpr int kBatchWeight = 8;    // one batch dequeue per 8 under contention
-// Per-key jobs in the system (queued + running).  Sized above the
-// interactive tenant's own worst-case burst backlog (~90 at full scale) and
-// far below the flood's steady backlog (many hundreds), so only the hot
-// batch key sheds.
-constexpr size_t kKeyQuota = 128;
+
+// Warm modeled service of the 256-byte base64 function, measured on the real
+// stack.  Every flood rate below is a multiple of the kLanes-lane replay
+// capacity this implies, so the phase ratios — and therefore every gate —
+// survive guest-compiler and interpreter speed changes.
+double MeasuredCapacityRps(wasp::Runtime* runtime) {
+  vnet::Vespid vespid(runtime);
+  VB_CHECK(vespid.Register("calib", vjs::Base64ScriptSource()).ok(),
+           "register failed");
+  const std::vector<uint8_t> payload(256, 5);
+  double total_us = 0;
+  int warm = 0;
+  for (int i = 0; i < 9; ++i) {
+    auto inv = vespid.Invoke("calib", payload);
+    VB_CHECK(inv.ok(), inv.status().ToString());
+    if (inv->cold) {
+      continue;
+    }
+    total_us += vbase::CyclesToMicros(inv->modeled_cycles);
+    ++warm;
+  }
+  VB_CHECK(warm > 0, "no warm calibration invocations");
+  const double warm_us = total_us / warm;
+  const double capacity = static_cast<double>(kLanes) * 1e6 / warm_us;
+  std::printf("calibration: warm service %.0f us -> %d-lane capacity %.0f rps\n",
+              warm_us, kLanes, capacity);
+  return capacity;
+}
+
+// Per-key jobs in the system (queued + running) as a fraction of capacity.
+// Sized above the interactive tenant's own worst-case burst backlog (a 1.3x
+// burst for 0.1 s queues ~0.03x capacity) and far below the flood's steady
+// backlog (unbounded growth at 1.77x offered), so only the hot batch key
+// sheds.  0.064 reproduces the historical quota of 128 at 2000 rps.
+size_t KeyQuotaFor(double capacity_rps) {
+  return static_cast<size_t>(0.064 * capacity_rps);
+}
 
 // The measured trace minus every other tenant: the interactive key's
 // isolation baseline replays its own arrivals and measured services only.
@@ -103,21 +135,24 @@ int RunGovernancePhase(bool quick) {
   VB_CHECK(vespid.Register("batch", vjs::Base64ScriptSource()).ok(), "register failed");
   std::vector<uint8_t> payload(256, 5);
 
-  // The measured warm service of the 256-byte base64 function is ~1 ms, so
-  // two virtual lanes serve ~2000 rps.  Interactive: steady load with a
-  // burst *above* that capacity, so its isolation baseline has real
-  // self-queueing to compare against.  Batch: a flat flood at 4x the
-  // interactive mean arrival rate (the hot key).  --quick shortens the
-  // phases; rates — and therefore every capacity ratio — are identical.
+  // Rates are multiples of the measured two-lane capacity (historically
+  // ~2000 rps at a ~1 ms warm service).  Interactive: steady 0.1x load with
+  // a 1.3x burst *above* capacity, so its isolation baseline has real
+  // self-queueing to compare against.  Batch: a flat 1.77x flood (the hot
+  // key).  --quick shortens the phases; rates — and therefore every
+  // capacity ratio — are identical.
+  const double cap = MeasuredCapacityRps(&runtime);
   const double scale = quick ? 0.4 : 1.0;
   std::vector<vnet::TenantSpec> tenants(2);
   tenants[0].name = "interactive";
   tenants[0].klass = wasp::KeyClass::kLatency;
-  tenants[0].phases = {{200, 0.125 * scale}, {2600, 0.1 * scale}, {200, 0.125 * scale}};
+  tenants[0].phases = {{0.1 * cap, 0.125 * scale},
+                       {1.3 * cap, 0.1 * scale},
+                       {0.1 * cap, 0.125 * scale}};
   tenants[0].payload = payload;
   tenants[1].name = "batch";
   tenants[1].klass = wasp::KeyClass::kBatch;
-  tenants[1].phases = {{3540, 0.35 * scale}};
+  tenants[1].phases = {{1.77 * cap, 0.35 * scale}};
   tenants[1].payload = payload;
 
   auto trace = vespid.MeasureMultiTenant(tenants, kMeasureLanes, /*seed=*/42);
@@ -144,7 +179,7 @@ int RunGovernancePhase(bool quick) {
 
   vnet::GovernanceOptions governed;
   governed.lanes = kLanes;
-  governed.key_quota = kKeyQuota;
+  governed.key_quota = KeyQuotaFor(cap);
   governed.batch_weight = kBatchWeight;
   const vnet::GovernedReplay fair = vnet::GovernTrace(*trace, governed);
 
@@ -200,15 +235,16 @@ int RunTieredQuotaPhase(bool quick) {
   vnet::Vespid vespid(&runtime);
   const char* kTiers[3] = {"premium", "standard", "free"};
   std::vector<vnet::TenantSpec> tenants(3);
+  const double cap = MeasuredCapacityRps(&runtime);
   const double scale = quick ? 0.4 : 1.0;
   for (size_t t = 0; t < 3; ++t) {
     VB_CHECK(vespid.Register(kTiers[t], vjs::Base64ScriptSource()).ok(),
              "register failed");
     tenants[t].name = kTiers[t];
     tenants[t].klass = wasp::KeyClass::kLatency;
-    // Identical floods: together ~2.4x the two virtual lanes' ~2000 rps
-    // capacity, so admission — not service — decides who completes.
-    tenants[t].phases = {{1600, 0.6 * scale}};
+    // Identical floods at 0.8x measured capacity each: together 2.4x the
+    // two virtual lanes, so admission — not service — decides who completes.
+    tenants[t].phases = {{0.8 * cap, 0.6 * scale}};
     tenants[t].payload = std::vector<uint8_t>(256, 5);
   }
   auto trace = vespid.MeasureMultiTenant(tenants, kMeasureLanes, /*seed=*/43);

@@ -31,7 +31,8 @@ if [[ "${TSAN:-0}" == "1" ]]; then
   # TSan objects don't mix.
   BUILD_DIR="${BUILD_DIR:-build-tsan}"
   TSAN_TESTS=(test_wasp test_wasp_concurrency test_snapshot_engine test_governance
-              test_net test_http_server_concurrency test_fault_injection test_recovery)
+              test_net test_http_server_concurrency test_fault_injection test_recovery
+              test_listener)
   cmake -B "$BUILD_DIR" -S . -DVIRTINES_WERROR="$WERROR" \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
@@ -51,7 +52,7 @@ if [[ "${ASAN:-0}" == "1" ]]; then
   # residency accounting.  Separate build dir: sanitizer objects don't mix.
   BUILD_DIR="${BUILD_DIR:-build-asan}"
   ASAN_TESTS=(test_snapshot_engine test_wasp test_wasp_concurrency test_governance
-              test_cpu test_isa test_fault_injection test_recovery)
+              test_cpu test_isa test_fault_injection test_recovery test_listener)
   cmake -B "$BUILD_DIR" -S . -DVIRTINES_WERROR="$WERROR" \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
@@ -83,8 +84,10 @@ cmake --build "$BUILD_DIR" -j"$(nproc)"
 # must keep fleet residency O(image + working sets)).
 (cd "$BUILD_DIR" && ./fig12_image_size --quick)
 # Concurrent-serving smoke: a small 2-lane run of the executor-backed HTTP
-# server in all three modes; fails (non-zero) on any wrong response or
-# admission-counter mismatch.
+# server in all three modes, then a real-socket sweep through the epoll
+# listener; fails (non-zero) on any wrong response, admission-counter
+# mismatch, or if HTTP keep-alive stops paying (snapshot-mode socket RPS at
+# 8 requests/connection must beat connection-per-request).
 (cd "$BUILD_DIR" && ./fig13_http_server --quick)
 # Governance smoke: the fig16 gates on a shortened trace — per-key quota
 # bounds the interactive key's p99 queue wait within 2x of isolation at
@@ -103,9 +106,11 @@ cmake --build "$BUILD_DIR" -j"$(nproc)"
 # retry-exactly-once accounting conserved at every observation).
 (cd "$BUILD_DIR" && ./fig17_chaos --quick)
 # SOAK=1: the full chaos + wall-clock soak run (minutes, not seconds) —
-# same gates, more rounds, real pacing.
+# same gates, more rounds, real pacing — plus a wall-clock-paced keep-alive
+# soak of the socket front end in every serve mode.
 if [[ "${SOAK:-0}" == "1" ]]; then
   (cd "$BUILD_DIR" && ./fig17_chaos --soak)
+  (cd "$BUILD_DIR" && ./fig13_http_server --soak)
 fi
 # Per-lane coverage summary: the ctest suite count plus per-binary gtest
 # case totals, so a lane silently losing tests shows up in the log.

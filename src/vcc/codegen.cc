@@ -6,6 +6,13 @@
 // accesses get byte-accurate loads/stores.  Calling convention (shared with
 // the vrt CRT): arguments pushed right-to-left as machine words, caller
 // cleans, result in r0, fp-based frames.
+//
+// On top of that baseline the generator applies a few local fast paths that
+// matter for tight guest loops: scalar locals/params load and store directly
+// through their fp-relative slot, literal and scalar right operands skip the
+// stack staging, and comparisons in branch position fuse into cmp + jcc
+// instead of materializing a boolean.
+#include <array>
 #include <map>
 #include <set>
 #include <sstream>
@@ -200,6 +207,56 @@ class CodeGen {
     return nullptr;
   }
 
+  // --- Direct-slot fast paths ---------------------------------------------
+
+  // A scalar (non-array) local or parameter lives in one fp-relative slot
+  // and can be loaded/stored without staging its address through r0.
+  // Returns the memory operand ("[fp-16]" / "[fp+24]") or empty when the
+  // expression needs general address generation (globals, arrays,
+  // non-variables).
+  std::string DirectSlot(const Expr& e, Type* out) const {
+    if (e.kind != ExprKind::kVar) {
+      return "";
+    }
+    const VarInfo* v = Lookup(e.name);
+    if (v == nullptr || v->is_array) {
+      return "";
+    }
+    *out = v->type;
+    if (v->is_param) {
+      return "[fp+" + std::to_string(2 * w_ + v->param_index * w_) + "]";
+    }
+    return "[fp-" + std::to_string(v->fp_offset) + "]";
+  }
+
+  const char* LoadOp(const Type& t) const {
+    return (!t.IsPtr() && t.base == Type::Base::kChar) ? "ld8" : "ldw";
+  }
+
+  const char* StoreOp(const Type& t) const {
+    return (!t.IsPtr() && t.base == Type::Base::kChar) ? "st8" : "stw";
+  }
+
+  // Emits the right operand of a binary form into r2 without the push/pop
+  // staging when it is an integer literal or a scalar variable (the
+  // overwhelmingly common shapes in loop conditions and index math).
+  // Returns false when the general stack-staged path must run.
+  bool TryRhsInR2(const Expr& e, Type* out) {
+    if (e.kind == ExprKind::kIntLit) {
+      Emit("mov r2, " + std::to_string(e.ival));
+      *out = Type{Type::Base::kInt, 0};
+      return true;
+    }
+    Type t;
+    const std::string slot = DirectSlot(e, &t);
+    if (slot.empty()) {
+      return false;
+    }
+    Emit(std::string(LoadOp(t)) + " r2, " + slot);
+    *out = t;
+    return true;
+  }
+
   // --- Frame size pre-pass ------------------------------------------------------
 
   int64_t FrameBytes(const Stmt* s) const {
@@ -282,21 +339,15 @@ class CodeGen {
           }
           Type vt;
           VB_RETURN_IF_ERROR(GenExpr(*s.init, &vt));
-          Emit("push r0");
-          Emit("lea r0, [fp-" + std::to_string(v.fp_offset) + "]");
-          Emit("mov r1, r0");
-          Emit("pop r0");
-          EmitStore(s.type);
+          Emit(std::string(StoreOp(s.type)) + " [fp-" +
+               std::to_string(v.fp_offset) + "], r0");
         }
         return vbase::Status::Ok();
       }
       case StmtKind::kIf: {
-        Type t;
-        VB_RETURN_IF_ERROR(GenExpr(*s.e, &t));
         const std::string lelse = NewLabel();
         const std::string lend = NewLabel();
-        Emit("cmp r0, 0");
-        Emit("je " + lelse);
+        VB_RETURN_IF_ERROR(GenBranch(*s.e, lelse, /*jump_if_true=*/false));
         VB_RETURN_IF_ERROR(GenStmt(*s.s1));
         if (s.s2 != nullptr) {
           Emit("jmp " + lend);
@@ -314,10 +365,7 @@ class CodeGen {
         break_stack_.push_back(lend);
         continue_stack_.push_back(lhead);
         os_ << lhead << ":\n";
-        Type t;
-        VB_RETURN_IF_ERROR(GenExpr(*s.e, &t));
-        Emit("cmp r0, 0");
-        Emit("je " + lend);
+        VB_RETURN_IF_ERROR(GenBranch(*s.e, lend, /*jump_if_true=*/false));
         VB_RETURN_IF_ERROR(GenStmt(*s.s1));
         Emit("jmp " + lhead);
         os_ << lend << ":\n";
@@ -337,10 +385,7 @@ class CodeGen {
         continue_stack_.push_back(lpost);
         os_ << lhead << ":\n";
         if (s.e != nullptr) {
-          Type t;
-          VB_RETURN_IF_ERROR(GenExpr(*s.e, &t));
-          Emit("cmp r0, 0");
-          Emit("je " + lend);
+          VB_RETURN_IF_ERROR(GenBranch(*s.e, lend, /*jump_if_true=*/false));
         }
         VB_RETURN_IF_ERROR(GenStmt(*s.s2));
         os_ << lpost << ":\n";
@@ -447,10 +492,27 @@ class CodeGen {
         if (!bt.IsPtr()) {
           return Err(e.line, "indexing a non-pointer");
         }
-        Emit("push r0");
-        Type it;
-        VB_RETURN_IF_ERROR(GenExpr(*e.b, &it));
         const int size = ElemSize(bt);
+        if (e.b->kind == ExprKind::kIntLit && e.b->ival >= 0) {
+          const int64_t off = e.b->ival * size;
+          if (off != 0) {
+            Emit("add r0, " + std::to_string(off));
+          }
+          *out = bt.Pointee();
+          return vbase::Status::Ok();
+        }
+        Type it;
+        if (TryRhsInR2(*e.b, &it)) {
+          if (size > 1) {
+            Emit("mov r3, " + std::to_string(size));
+            Emit("mul r2, r3");
+          }
+          Emit("add r0, r2");
+          *out = bt.Pointee();
+          return vbase::Status::Ok();
+        }
+        Emit("push r0");
+        VB_RETURN_IF_ERROR(GenExpr(*e.b, &it));
         if (size > 1) {
           Emit("mov r2, " + std::to_string(size));
           Emit("mul r0, r2");
@@ -503,6 +565,13 @@ class CodeGen {
         return vbase::Status::Ok();
 
       case ExprKind::kVar: {
+        Type st;
+        const std::string slot = DirectSlot(e, &st);
+        if (!slot.empty()) {
+          Emit(std::string(LoadOp(st)) + " r0, " + slot);
+          *out = st;
+          return vbase::Status::Ok();
+        }
         Type ot;
         VB_RETURN_IF_ERROR(GenAddr(e, &ot));
         if (VarIsArray(e.name)) {
@@ -551,12 +620,9 @@ class CodeGen {
         return GenBinary(e, out);
 
       case ExprKind::kCond: {
-        Type t;
-        VB_RETURN_IF_ERROR(GenExpr(*e.a, &t));
         const std::string lelse = NewLabel();
         const std::string lend = NewLabel();
-        Emit("cmp r0, 0");
-        Emit("je " + lelse);
+        VB_RETURN_IF_ERROR(GenBranch(*e.a, lelse, /*jump_if_true=*/false));
         Type then_t;
         VB_RETURN_IF_ERROR(GenExpr(*e.b, &then_t));
         Emit("jmp " + lend);
@@ -572,6 +638,26 @@ class CodeGen {
         return GenAssign(e, out);
 
       case ExprKind::kIncDec: {
+        {
+          Type st;
+          const std::string slot = DirectSlot(*e.a, &st);
+          if (!slot.empty()) {
+            const int step = st.IsPtr() ? ElemSize(st) : 1;
+            const bool prefix = e.ival == 1;
+            const std::string op = e.op == "++" ? "add" : "sub";
+            Emit(std::string(LoadOp(st)) + " r0, " + slot);
+            if (!prefix) {
+              Emit("mov r2, r0");  // save old
+            }
+            Emit(op + " r0, " + std::to_string(step));
+            Emit(std::string(StoreOp(st)) + " " + slot + ", r0");
+            if (!prefix) {
+              Emit("mov r0, r2");
+            }
+            *out = st;
+            return vbase::Status::Ok();
+          }
+        }
         Type ot;
         VB_RETURN_IF_ERROR(GenAddr(*e.a, &ot));
         Emit("push r0");  // address
@@ -625,11 +711,49 @@ class CodeGen {
 
     Type lt;
     VB_RETURN_IF_ERROR(GenExpr(*e.a, &lt));
-    Emit("push r0");
+
+    // Literal right operands fold into the immediate ALU/compare forms.
+    if (e.b->kind == ExprKind::kIntLit) {
+      const int64_t iv = e.b->ival;
+      if ((e.op == "+" || e.op == "-") && lt.IsPtr()) {
+        // Pointer arithmetic: fold the element scale into the immediate.
+        Emit((e.op == "+" ? "add r0, " : "sub r0, ") +
+             std::to_string(iv * ElemSize(lt)));
+        *out = lt;
+        return vbase::Status::Ok();
+      }
+      if (!lt.IsPtr()) {
+        static const std::map<std::string, const char*> kImmAlu = {
+            {"+", "add"}, {"-", "sub"}, {"&", "and"},  {"|", "or"},
+            {"^", "xor"}, {"<<", "shl"}, {">>", "sar"},
+        };
+        if (auto it = kImmAlu.find(e.op); it != kImmAlu.end()) {
+          Emit(std::string(it->second) + " r0, " + std::to_string(iv));
+          *out = Type{Type::Base::kInt, 0};
+          return vbase::Status::Ok();
+        }
+      }
+      static const std::map<std::string, std::pair<const char*, const char*>>
+          kCmpImm = {
+              {"==", {"eq", "eq"}}, {"!=", {"ne", "ne"}}, {"<", {"lt", "b"}},
+              {"<=", {"le", "be"}}, {">", {"gt", "a"}},   {">=", {"ge", "ae"}},
+          };
+      if (auto it = kCmpImm.find(e.op); it != kCmpImm.end()) {
+        Emit("cmp r0, " + std::to_string(iv));
+        Emit(std::string("cset r0, ") +
+             (lt.IsPtr() ? it->second.second : it->second.first));
+        *out = Type{Type::Base::kInt, 0};
+        return vbase::Status::Ok();
+      }
+    }
+
     Type rt;
-    VB_RETURN_IF_ERROR(GenExpr(*e.b, &rt));
-    Emit("mov r2, r0");
-    Emit("pop r0");
+    if (!TryRhsInR2(*e.b, &rt)) {
+      Emit("push r0");
+      VB_RETURN_IF_ERROR(GenExpr(*e.b, &rt));
+      Emit("mov r2, r0");
+      Emit("pop r0");
+    }
     // r0 = left, r2 = right.
 
     // Pointer arithmetic scaling.
@@ -690,8 +814,78 @@ class CodeGen {
     return Err(e.line, "bad binary operator " + e.op);
   }
 
+  // Emits a conditional jump to `target`, taken when `e` is true
+  // (jump_if_true) or false.  Comparison operators fuse into a cmp + jcc
+  // pair instead of materializing a boolean through cset; &&, || and !
+  // decompose structurally.  Falls back to value + "cmp r0, 0".
+  vbase::Status GenBranch(const Expr& e, const std::string& target,
+                          bool jump_if_true) {
+    if (e.kind == ExprKind::kUnary && e.op == "!") {
+      return GenBranch(*e.a, target, !jump_if_true);
+    }
+    if (e.kind == ExprKind::kBinary && (e.op == "&&" || e.op == "||")) {
+      const bool is_and = e.op == "&&";
+      if (is_and != jump_if_true) {
+        // jump-if-false of && / jump-if-true of ||: either clause decides.
+        VB_RETURN_IF_ERROR(GenBranch(*e.a, target, jump_if_true));
+        return GenBranch(*e.b, target, jump_if_true);
+      }
+      // jump-if-true of && / jump-if-false of ||: first clause can only veto.
+      const std::string lskip = NewLabel();
+      VB_RETURN_IF_ERROR(GenBranch(*e.a, lskip, !jump_if_true));
+      VB_RETURN_IF_ERROR(GenBranch(*e.b, target, jump_if_true));
+      os_ << lskip << ":\n";
+      return vbase::Status::Ok();
+    }
+    if (e.kind == ExprKind::kBinary) {
+      // {signed, unsigned, negated-signed, negated-unsigned}
+      static const std::map<std::string, std::array<const char*, 4>> kJcc = {
+          {"==", {{"je", "je", "jne", "jne"}}},
+          {"!=", {{"jne", "jne", "je", "je"}}},
+          {"<", {{"jl", "jb", "jge", "jae"}}},
+          {"<=", {{"jle", "jbe", "jg", "ja"}}},
+          {">", {{"jg", "ja", "jle", "jbe"}}},
+          {">=", {{"jge", "jae", "jl", "jb"}}},
+      };
+      if (auto it = kJcc.find(e.op); it != kJcc.end()) {
+        Type lt;
+        VB_RETURN_IF_ERROR(GenExpr(*e.a, &lt));
+        Type rt{Type::Base::kInt, 0};
+        if (e.b->kind == ExprKind::kIntLit) {
+          Emit("cmp r0, " + std::to_string(e.b->ival));
+        } else if (TryRhsInR2(*e.b, &rt)) {
+          Emit("cmp r0, r2");
+        } else {
+          Emit("push r0");
+          VB_RETURN_IF_ERROR(GenExpr(*e.b, &rt));
+          Emit("mov r2, r0");
+          Emit("pop r0");
+          Emit("cmp r0, r2");
+        }
+        const bool uns = lt.IsPtr() || rt.IsPtr();
+        const int idx = (jump_if_true ? 0 : 2) + (uns ? 1 : 0);
+        Emit(std::string(it->second[static_cast<size_t>(idx)]) + " " + target);
+        return vbase::Status::Ok();
+      }
+    }
+    Type t;
+    VB_RETURN_IF_ERROR(GenExpr(e, &t));
+    Emit("cmp r0, 0");
+    Emit((jump_if_true ? "jne " : "je ") + target);
+    return vbase::Status::Ok();
+  }
+
   vbase::Status GenAssign(const Expr& e, Type* out) {
     if (e.op == "=") {
+      Type st;
+      const std::string slot = DirectSlot(*e.a, &st);
+      if (!slot.empty()) {
+        Type rt;
+        VB_RETURN_IF_ERROR(GenExpr(*e.b, &rt));
+        Emit(std::string(StoreOp(st)) + " " + slot + ", r0");
+        *out = st;
+        return vbase::Status::Ok();
+      }
       Type rt;
       VB_RETURN_IF_ERROR(GenExpr(*e.b, &rt));
       Emit("push r0");
@@ -705,16 +899,28 @@ class CodeGen {
     }
     // Compound assignment: op= .
     Type ot;
-    VB_RETURN_IF_ERROR(GenAddr(*e.a, &ot));
-    Emit("push r0");  // address
-    Emit("mov r1, r0");
-    Emit("mov r0, r1");
-    EmitLoad(ot);     // r0 = old
-    Emit("push r0");
-    Type rt;
-    VB_RETURN_IF_ERROR(GenExpr(*e.b, &rt));
-    Emit("mov r2, r0");
-    Emit("pop r0");   // old
+    const std::string slot = DirectSlot(*e.a, &ot);
+    if (slot.empty()) {
+      VB_RETURN_IF_ERROR(GenAddr(*e.a, &ot));
+      Emit("push r0");  // address
+      Emit("mov r1, r0");
+      Emit("mov r0, r1");
+      EmitLoad(ot);     // r0 = old
+      Emit("push r0");
+      Type rt;
+      VB_RETURN_IF_ERROR(GenExpr(*e.b, &rt));
+      Emit("mov r2, r0");
+      Emit("pop r0");   // old
+    } else {
+      Emit(std::string(LoadOp(ot)) + " r0, " + slot);  // old
+      Type rt;
+      if (!TryRhsInR2(*e.b, &rt)) {
+        Emit("push r0");
+        VB_RETURN_IF_ERROR(GenExpr(*e.b, &rt));
+        Emit("mov r2, r0");
+        Emit("pop r0");
+      }
+    }
     const std::string base_op = e.op.substr(0, e.op.size() - 1);
     if ((base_op == "+" || base_op == "-") && ot.IsPtr()) {
       const int size = ElemSize(ot);
@@ -734,8 +940,12 @@ class CodeGen {
     else if (base_op == "<<") Emit("shl r0, r2");
     else if (base_op == ">>") Emit("sar r0, r2");
     else return Err(e.line, "bad compound assignment " + e.op);
-    Emit("pop r1");  // address
-    EmitStore(ot);
+    if (slot.empty()) {
+      Emit("pop r1");  // address
+      EmitStore(ot);
+    } else {
+      Emit(std::string(StoreOp(ot)) + " " + slot + ", r0");
+    }
     *out = ot;
     return vbase::Status::Ok();
   }

@@ -48,6 +48,29 @@ struct LoadResult {
 // threads.  RequestFn must be thread-safe.
 LoadResult RunClosedLoop(int workers, int requests_per_worker, const RequestFn& fn);
 
+// Real-socket closed loop against a vnet::Listener on 127.0.0.1.
+struct SocketLoadOptions {
+  uint16_t port = 0;
+  int clients = 4;               // concurrent client threads
+  int requests_per_client = 64;  // per-thread request budget (fixed-count mode)
+  // The connection-reuse axis: requests issued per TCP connection before
+  // reconnecting.  1 = connection-per-request; the last request of each
+  // connection carries "Connection: close".
+  int requests_per_connection = 1;
+  std::string target = "/static.html";
+  // > 0: wall-clock-paced soak — every client loops until the deadline
+  // instead of counting to requests_per_client.
+  double duration_s = 0;
+};
+
+// Each client thread connects, issues requests_per_connection keep-alive
+// requests per connection (framing responses with FrameResponseHead), and
+// reconnects until its budget (or the soak deadline) is spent.  Latencies
+// are wall microseconds per request; a transport or framing error counts as
+// a failure and forces a reconnect.  wall_seconds spans the whole loop, so
+// latencies_us.size() / wall_seconds is the measured socket RPS.
+LoadResult RunSocketClosedLoop(const SocketLoadOptions& options);
+
 // Virtual-time lane scheduler shared by the closed loop below and the
 // Figure 15 replay: each placed request starts on the earliest-free of N
 // serving lanes, no earlier than its own earliest-start time, and occupies

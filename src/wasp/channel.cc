@@ -13,6 +13,9 @@ bool BytePipe::Write(const void* data, uint64_t len) {
       return false;
     }
     buf_.insert(buf_.end(), p, p + len);
+    if (observer_) {
+      observer_();
+    }
   }
   cv_.notify_all();
   return true;
@@ -45,8 +48,16 @@ void BytePipe::Close() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     closed_ = true;
+    if (observer_) {
+      observer_();
+    }
   }
   cv_.notify_all();
+}
+
+void BytePipe::SetObserver(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  observer_ = std::move(fn);
 }
 
 bool BytePipe::closed() const {

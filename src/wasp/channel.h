@@ -12,6 +12,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -33,11 +34,18 @@ class BytePipe {
   bool closed() const;
   uint64_t bytes_available() const;
 
+  // Readiness hook for event-loop readers that cannot block in Read: `fn`
+  // runs after every successful Write and after Close (under the pipe lock —
+  // it must only signal, e.g. write an eventfd, never call back into the
+  // pipe).  One observer; set empty to clear.
+  void SetObserver(std::function<void()> fn);
+
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<uint8_t> buf_;
   bool closed_ = false;
+  std::function<void()> observer_;
 };
 
 // A duplex channel: `a_to_b` and `b_to_a` pipes plus two endpoint views.
@@ -55,6 +63,11 @@ class ByteChannel {
     std::vector<uint8_t> Drain();
     void CloseWrite() { out_->Close(); }
     bool read_closed() const { return in_->closed() && in_->bytes_available() == 0; }
+    uint64_t bytes_readable() const { return in_->bytes_available(); }
+    // Observer on this endpoint's inbound pipe: fires when the peer writes
+    // or closes (see BytePipe::SetObserver).  Lets an epoll loop treat the
+    // channel as a readiness source instead of blocking a thread in Read.
+    void SetReadObserver(std::function<void()> fn) { in_->SetObserver(std::move(fn)); }
 
    private:
     BytePipe* in_ = nullptr;

@@ -96,6 +96,91 @@ TEST(Http, BuildResponseSanitizesReasonPhrase) {
   EXPECT_EQ(ctl.rfind("HTTP/1.1 500 ab\r\n", 0), 0u) << ctl;
 }
 
+// --- Keep-alive framing: pipelined splits and smuggling rejection -------------
+
+TEST(Http, FrameRequestSplitsPipelinedStream) {
+  const std::string stream =
+      "POST /a HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbodyGET /b HTTP/1.1\r\nHost: "
+      "x\r\n\r\n";
+  auto first = vnet::FrameRequest(stream);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->request.target, "/a");
+  EXPECT_EQ(first->request.body, "body");
+  auto second = vnet::FrameRequest(stream.substr(first->consumed));
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->request.target, "/b");
+  EXPECT_EQ(second->consumed, stream.size() - first->consumed);
+}
+
+TEST(Http, RequestBytesNeededCountsHeadPlusBody) {
+  const std::string head = "POST /a HTTP/1.0\r\nContent-Length: 10\r\n\r\n";
+  auto need = vnet::RequestBytesNeeded(head + "12345");
+  ASSERT_TRUE(need.ok());
+  EXPECT_EQ(*need, head.size() + 10);
+  // Incomplete head: cannot know yet.
+  EXPECT_EQ(vnet::RequestBytesNeeded("GET / HT").status().code(),
+            vbase::Code::kFailedPrecondition);
+}
+
+TEST(Http, SmugglingShapedRequestsAreRejected) {
+  for (const char* bad : {
+           // Conflicting Content-Length values: two framings of one stream.
+           "POST / HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\nContent-Length: 5\r\n\r\nbody!",
+           // Even equal duplicates are rejected rather than collapsed.
+           "POST / HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nbody",
+           // Transfer-Encoding is unimplemented: accepting it while framing
+           // by Content-Length is the TE.CL desync.
+           "POST / HTTP/1.1\r\nHost: x\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n",
+           // A bare LF line ending inside the head.
+           "GET / HTTP/1.1\nHost: x\r\n\r\n",
+           // Obsolete header folding.
+           "GET / HTTP/1.1\r\nHost: x\r\n folded\r\n\r\n",
+           // Signed/overflowing/non-canonical Content-Length.
+           "POST / HTTP/1.1\r\nHost: x\r\nContent-Length: +4\r\n\r\nbody",
+           "POST / HTTP/1.1\r\nHost: x\r\nContent-Length: 99999999999999999999\r\n\r\n",
+       }) {
+    auto r = vnet::FrameRequest(bad);
+    ASSERT_FALSE(r.ok()) << "accepted smuggling-shaped request: " << bad;
+    EXPECT_EQ(r.status().code(), vbase::Code::kInvalidArgument) << bad;
+  }
+  // A bare CR inside the head (not part of CRLF) is likewise rejected; built
+  // with string concatenation so the embedded NUL-free CR is explicit.
+  std::string bare_cr = "GET / HTTP/1.1\rHost: x\r\n\r\n";
+  EXPECT_EQ(vnet::FrameRequest(bare_cr).status().code(), vbase::Code::kInvalidArgument);
+}
+
+TEST(Http, WantKeepAliveFollowsVersionAndConnectionHeader) {
+  const auto parse = [](const std::string& text) {
+    auto req = vnet::ParseRequest(text);
+    EXPECT_TRUE(req.ok()) << req.status().ToString();
+    return *req;
+  };
+  // HTTP/1.1 defaults to persistent; explicit close wins.
+  EXPECT_TRUE(vnet::WantKeepAlive(parse("GET / HTTP/1.1\r\nHost: x\r\n\r\n")));
+  EXPECT_FALSE(
+      vnet::WantKeepAlive(parse("GET / HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")));
+  EXPECT_FALSE(vnet::WantKeepAlive(
+      parse("GET / HTTP/1.1\r\nHost: x\r\nConnection: keep-alive, CLOSE\r\n\r\n")));
+  // HTTP/1.0 defaults to close; explicit keep-alive opts in.
+  EXPECT_FALSE(vnet::WantKeepAlive(parse("GET / HTTP/1.0\r\n\r\n")));
+  EXPECT_TRUE(
+      vnet::WantKeepAlive(parse("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n")));
+}
+
+TEST(Http, FrameResponseHeadReportsLengthAndStatus) {
+  const std::string resp = "HTTP/1.1 200 OK\r\nContent-Length: 5\r\nX-A: 1\r\n\r\nhello";
+  auto head = vnet::FrameResponseHead(resp);
+  ASSERT_TRUE(head.ok()) << head.status().ToString();
+  EXPECT_EQ(head->status, 200);
+  EXPECT_EQ(head->content_length, 5u);
+  EXPECT_EQ(head->head_bytes + head->content_length, resp.size());
+  // Incomplete head asks for more; a malformed status line is rejected.
+  EXPECT_EQ(vnet::FrameResponseHead("HTTP/1.1 200 OK\r\n").status().code(),
+            vbase::Code::kFailedPrecondition);
+  EXPECT_EQ(vnet::FrameResponseHead("HTTP/1.1 abc\r\n\r\n").status().code(),
+            vbase::Code::kInvalidArgument);
+}
+
 // --- Static server in all modes -----------------------------------------------
 
 class ServerModeTest : public ::testing::TestWithParam<vnet::ServeMode> {};
@@ -151,6 +236,9 @@ TEST_P(ServerModeTest, TruncatedRequestLineGets400) {
   vnet::StaticHttpServer server(&runtime, &files);
   wasp::ByteChannel channel;
   channel.host().WriteString("GET /f.t");  // no CRLF, no header block
+  // The request loop (correctly) waits for more bytes on an incomplete head;
+  // closing the write end is the client giving up mid-request.
+  channel.host().CloseWrite();
   auto stats = server.HandleConnection(channel, GetParam());
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
   EXPECT_EQ(stats->status, 400);
@@ -158,19 +246,20 @@ TEST_P(ServerModeTest, TruncatedRequestLineGets400) {
   EXPECT_EQ(std::string(resp.begin(), resp.end()).rfind("HTTP/1.1 400", 0), 0u);
 }
 
-TEST_P(ServerModeTest, OversizedHeaderGets400) {
+TEST_P(ServerModeTest, OversizedHeaderGets413) {
   wasp::Runtime runtime;
   wasp::HostEnv files;
   files.PutFile("/f.txt", std::string(100, 'z'));
   vnet::StaticHttpServer server(&runtime, &files);
   wasp::ByteChannel channel;
-  // The header block exceeds the 2 KB request window, so its terminator is
-  // never seen: the server must shed it cleanly, not serve a half-parse.
+  // The header block exceeds the 2 KB head window, so its terminator is
+  // never seen inside the cap: every mode sheds it with 413, not a
+  // half-parse (and not an unbounded buffer).
   channel.host().WriteString("GET /f.txt HTTP/1.0\r\nX-Big: " + std::string(4000, 'a') +
                              "\r\n\r\n");
   auto stats = server.HandleConnection(channel, GetParam());
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
-  EXPECT_EQ(stats->status, 400);
+  EXPECT_EQ(stats->status, 413);
 }
 
 TEST_P(ServerModeTest, MissingHostOnHttp11Gets400) {
@@ -274,6 +363,106 @@ TEST_P(ServerModeTest, PipelinedGarbageAfterRequestIsServedCleanly) {
   const std::string text(resp.begin(), resp.end());
   EXPECT_EQ(text.rfind("HTTP/1.1 200", 0), 0u);
   EXPECT_NE(text.find(std::string(100, 'z')), std::string::npos);
+}
+
+// --- Keep-alive connections: one acquired shell serves many requests ----------
+
+TEST_P(ServerModeTest, KeepAliveServesManyRequestsOnOneConnection) {
+  wasp::Runtime runtime;
+  wasp::HostEnv files;
+  files.PutFile("/f.txt", std::string(64, 'z'));
+  vnet::StaticHttpServer server(&runtime, &files);
+  vnet::ConnectionOptions conn;
+  conn.keep_alive = true;
+  wasp::ByteChannel channel;
+  for (int i = 0; i < 3; ++i) {
+    channel.host().WriteString("GET /f.txt HTTP/1.1\r\nHost: x\r\n\r\n");
+  }
+  channel.host().CloseWrite();  // client hangs up after the third request
+  auto stats = server.HandleConnection(channel, GetParam(), conn);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->requests, 3u);
+  EXPECT_EQ(stats->r2xx, 3u);
+  const auto resp = channel.host().Drain();
+  const std::string text(resp.begin(), resp.end());
+  size_t count = 0;
+  for (size_t pos = text.find("HTTP/1.1 200"); pos != std::string::npos;
+       pos = text.find("HTTP/1.1 200", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+TEST_P(ServerModeTest, KeepAliveHonorsConnectionClose) {
+  wasp::Runtime runtime;
+  wasp::HostEnv files;
+  files.PutFile("/f.txt", std::string(64, 'z'));
+  vnet::StaticHttpServer server(&runtime, &files);
+  vnet::ConnectionOptions conn;
+  conn.keep_alive = true;
+  wasp::ByteChannel channel;
+  // Second request says close: the third pipelined request must not be served.
+  channel.host().WriteString("GET /f.txt HTTP/1.1\r\nHost: x\r\n\r\n");
+  channel.host().WriteString(
+      "GET /f.txt HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+  channel.host().WriteString("GET /f.txt HTTP/1.1\r\nHost: x\r\n\r\n");
+  auto stats = server.HandleConnection(channel, GetParam(), conn);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->requests, 2u);
+  EXPECT_EQ(stats->r2xx, 2u);
+}
+
+TEST_P(ServerModeTest, KeepAliveStreamsContentLengthBodies) {
+  wasp::Runtime runtime;
+  wasp::HostEnv files;
+  files.PutFile("/f.txt", std::string(64, 'z'));
+  vnet::StaticHttpServer server(&runtime, &files);
+  vnet::ConnectionOptions conn;
+  conn.keep_alive = true;
+  wasp::ByteChannel channel;
+  // A body larger than any single read window, pipelined ahead of a second
+  // request: the server must stream-drain exactly Content-Length bytes and
+  // then frame the next request at the right boundary.
+  const std::string body(5000, 'b');
+  channel.host().WriteString("POST /f.txt HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+                             std::to_string(body.size()) + "\r\n\r\n" + body);
+  channel.host().WriteString("GET /f.txt HTTP/1.0\r\n\r\n");  // 1.0: closes after
+  auto stats = server.HandleConnection(channel, GetParam(), conn);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->requests, 2u);
+  EXPECT_EQ(stats->r2xx, 2u);
+}
+
+TEST_P(ServerModeTest, KeepAliveHttp10DefaultsToClose) {
+  wasp::Runtime runtime;
+  wasp::HostEnv files;
+  files.PutFile("/f.txt", std::string(64, 'z'));
+  vnet::StaticHttpServer server(&runtime, &files);
+  vnet::ConnectionOptions conn;
+  conn.keep_alive = true;
+  wasp::ByteChannel channel;
+  channel.host().WriteString("GET /f.txt HTTP/1.0\r\n\r\n");
+  channel.host().WriteString("GET /f.txt HTTP/1.0\r\n\r\n");  // never reached
+  auto stats = server.HandleConnection(channel, GetParam(), conn);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->requests, 1u);
+}
+
+TEST(Server, KeepAliveNativeEnforcesMaxRequests) {
+  wasp::Runtime runtime;
+  wasp::HostEnv files;
+  files.PutFile("/f.txt", std::string(8, 'z'));
+  vnet::StaticHttpServer server(&runtime, &files);
+  vnet::ConnectionOptions conn;
+  conn.keep_alive = true;
+  conn.max_requests = 2;
+  wasp::ByteChannel channel;
+  for (int i = 0; i < 4; ++i) {
+    channel.host().WriteString("GET /f.txt HTTP/1.1\r\nHost: x\r\n\r\n");
+  }
+  auto stats = server.HandleConnection(channel, vnet::ServeMode::kNative, conn);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->requests, 2u);
 }
 
 TEST(Server, VirtineHandlerUsesExactlySevenHypercalls) {
